@@ -1,0 +1,161 @@
+//! Memory-map reporting.
+//!
+//! Renders the cluster's address space the way a linker script or SoC
+//! datasheet would: the per-tile sequential windows, the interleaved
+//! region, and the external (off-chip) window, with sizes and the banking
+//! behind each range.
+
+use std::fmt;
+
+use crate::address::AddressMap;
+use crate::config::ClusterConfig;
+
+/// One row of the memory map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapEntry {
+    /// First byte address.
+    pub start: u64,
+    /// One past the last byte address.
+    pub end: u64,
+    /// Region name.
+    pub name: String,
+    /// How the region is physically backed.
+    pub backing: String,
+}
+
+impl MapEntry {
+    /// Region size in bytes.
+    pub fn size(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// The rendered memory map of a cluster.
+#[derive(Debug, Clone)]
+pub struct MemoryMap {
+    entries: Vec<MapEntry>,
+}
+
+impl MemoryMap {
+    /// Builds the map for a configuration.
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        let map = AddressMap::new(cfg);
+        let mut entries = Vec::new();
+        let seq_per_tile = map.seq_bytes_per_tile();
+        if seq_per_tile > 0 {
+            entries.push(MapEntry {
+                start: 0,
+                end: seq_per_tile * cfg.num_tiles() as u64,
+                name: format!("sequential SPM ({} tiles)", cfg.num_tiles()),
+                backing: format!(
+                    "{} B per tile, word-interleaved over its {} banks",
+                    seq_per_tile,
+                    cfg.banks_per_tile()
+                ),
+            });
+        }
+        entries.push(MapEntry {
+            start: map.interleaved_base() as u64,
+            end: map.spm_end(),
+            name: "interleaved SPM".to_owned(),
+            backing: format!(
+                "word-interleaved over all {} banks",
+                cfg.num_banks()
+            ),
+        });
+        entries.push(MapEntry {
+            start: AddressMap::EXTERNAL_BASE as u64,
+            end: 1 << 32,
+            name: "external memory".to_owned(),
+            backing: "off-chip port, bandwidth-limited".to_owned(),
+        });
+        MemoryMap { entries }
+    }
+
+    /// The entries, in address order.
+    pub fn entries(&self) -> &[MapEntry] {
+        &self.entries
+    }
+
+    /// Total SPM bytes covered.
+    pub fn spm_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name.contains("SPM"))
+            .map(MapEntry::size)
+            .sum()
+    }
+}
+
+impl fmt::Display for MemoryMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>12} {:>12}  backing", "region", "start", "size")?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<24} {:>#12x} {:>12}  {}",
+                e.name,
+                e.start,
+                human_size(e.size()),
+                e.backing
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn human_size(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{} GiB", bytes >> 30)
+    } else if bytes >= 1 << 20 {
+        format!("{} MiB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{} KiB", bytes >> 10)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::SpmCapacity;
+
+    #[test]
+    fn regions_are_contiguous_and_cover_the_spm() {
+        let cfg = ClusterConfig::with_capacity(SpmCapacity::MiB4);
+        let map = MemoryMap::new(&cfg);
+        let entries = map.entries();
+        // Sequential then interleaved, back to back.
+        assert_eq!(entries[0].start, 0);
+        assert_eq!(entries[0].end, entries[1].start);
+        assert_eq!(map.spm_bytes(), cfg.spm_bytes());
+    }
+
+    #[test]
+    fn external_window_is_the_upper_half() {
+        let cfg = ClusterConfig::default();
+        let map = MemoryMap::new(&cfg);
+        let external = map.entries().last().unwrap();
+        assert_eq!(external.start, 0x8000_0000);
+        assert_eq!(external.size(), 2 << 30);
+    }
+
+    #[test]
+    fn display_renders_sizes_humanly() {
+        let cfg = ClusterConfig::with_capacity(SpmCapacity::MiB8);
+        let text = MemoryMap::new(&cfg).to_string();
+        assert!(text.contains("interleaved SPM"), "{text}");
+        assert!(text.contains("MiB"), "{text}");
+        assert!(text.contains("GiB"), "{text}");
+        assert!(text.contains("off-chip"), "{text}");
+    }
+
+    #[test]
+    fn human_size_units() {
+        assert_eq!(human_size(12), "12 B");
+        assert_eq!(human_size(2048), "2 KiB");
+        assert_eq!(human_size(3 << 20), "3 MiB");
+        assert_eq!(human_size(2 << 30), "2 GiB");
+    }
+}

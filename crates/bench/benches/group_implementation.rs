@@ -1,0 +1,36 @@
+//! Table II bench: times the full group implementation (floorplan, channel
+//! sizing, wirelength, timing, power, F2F accounting) for every
+//! configuration, and prints the reproduced table once per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mempool::experiments::Table2;
+use mempool_arch::SpmCapacity;
+use mempool_phys::{Flow, GroupImplementation};
+
+fn bench_groups(c: &mut Criterion) {
+    println!("{}", Table2::generate().to_text());
+
+    let mut group = c.benchmark_group("group_implementation");
+    for flow in Flow::ALL {
+        for capacity in SpmCapacity::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(flow.to_string(), capacity),
+                &(capacity, flow),
+                |b, &(capacity, flow)| {
+                    b.iter(|| {
+                        black_box(GroupImplementation::implement(
+                            black_box(capacity),
+                            black_box(flow),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_groups);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 6 bench: the analytic bandwidth sweep plus the simulated compute
+//! phase that calibrates it. Prints the reproduced figure once per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mempool::experiments::fig6::{Fig6, BANDWIDTHS};
+use mempool_arch::{ClusterConfig, SpmCapacity};
+use mempool_kernels::matmul::{ComputePhase, PhaseModel};
+use mempool_kernels::Kernel;
+use mempool_sim::{Cluster, SimParams};
+
+fn bench_sweep(c: &mut Criterion) {
+    println!("{}", Fig6::generate().to_text());
+
+    // The analytic sweep itself (cheap, but it is the artifact the figure
+    // is made of).
+    let mut group = c.benchmark_group("fig6_analytic_sweep");
+    let model = PhaseModel::with_measured_defaults();
+    for bw in BANDWIDTHS {
+        group.bench_with_input(BenchmarkId::new("sweep", bw), &bw, |b, &bw| {
+            b.iter(|| {
+                for capacity in SpmCapacity::ALL {
+                    black_box(model.total_cycles(black_box(capacity), black_box(bw)));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // The simulated compute phase feeding the model's constants.
+    let mut group = c.benchmark_group("fig6_simulated_compute_phase");
+    group.sample_size(10);
+    group.bench_function("compute_phase_p32_16cores", |b| {
+        let cfg = ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(4)
+            .cores_per_tile(4)
+            .banks_per_tile(16)
+            .bank_words(256)
+            .build()
+            .expect("valid scaled-down cluster");
+        b.iter(|| {
+            let mut cluster = Cluster::new(cfg.clone(), SimParams::default());
+            let phase = ComputePhase::new(32);
+            black_box(phase.run(&mut cluster, 100_000_000).expect("phase runs"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figures 7-9 bench: the combined performance / efficiency / EDP
+//! evaluation over all eight design points. Prints the reproduced figures
+//! once per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mempool::experiments::{Evaluation, Fig7, Fig8, Fig9, SECTION_VI_B_BANDWIDTH};
+use mempool::DesignPoint;
+
+fn bench_figures(c: &mut Criterion) {
+    let eval = Evaluation::new();
+    println!("{}", Fig7::from_evaluation(&eval).to_text());
+    println!("{}", Fig8::from_evaluation(&eval).to_text());
+    println!("{}", Fig9::from_evaluation(&eval).to_text());
+
+    let mut group = c.benchmark_group("performance_sweep");
+    group.bench_function("implement_all_eight_groups", |b| {
+        b.iter(|| black_box(Evaluation::new()))
+    });
+    group.bench_function("derive_fig7_fig8_fig9", |b| {
+        b.iter(|| {
+            for point in DesignPoint::all() {
+                black_box(eval.performance(point, SECTION_VI_B_BANDWIDTH));
+                black_box(eval.efficiency(point, SECTION_VI_B_BANDWIDTH));
+                black_box(eval.edp(point, SECTION_VI_B_BANDWIDTH));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

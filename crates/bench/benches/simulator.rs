@@ -1,0 +1,68 @@
+//! Raw simulator throughput on the kernel zoo: how many simulated
+//! core-cycles per host second the cycle-accurate model sustains.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mempool_arch::ClusterConfig;
+use mempool_kernels::axpy::Axpy;
+use mempool_kernels::conv2d::Conv2d;
+use mempool_kernels::dotprod::DotProduct;
+use mempool_kernels::Kernel;
+use mempool_sim::{Cluster, SimParams};
+
+fn cluster() -> Cluster {
+    let cfg = ClusterConfig::builder()
+        .groups(1)
+        .tiles_per_group(4)
+        .cores_per_tile(4)
+        .banks_per_tile(16)
+        .bank_words(256)
+        .build()
+        .expect("valid scaled-down cluster");
+    Cluster::new(cfg, SimParams::default())
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_kernels");
+    group.sample_size(20);
+
+    // Measure once to set throughput in simulated cycles.
+    let mut probe = cluster();
+    let axpy_cycles = Axpy::new(1024, 5).run(&mut probe, 10_000_000).expect("axpy");
+    group.throughput(Throughput::Elements(axpy_cycles));
+    group.bench_function("axpy_1024", |b| {
+        b.iter(|| {
+            let mut cl = cluster();
+            black_box(Axpy::new(1024, 5).run(&mut cl, 10_000_000).expect("axpy"))
+        })
+    });
+
+    group.bench_function("dotprod_1024", |b| {
+        b.iter(|| {
+            let mut cl = cluster();
+            black_box(
+                DotProduct::new(1024)
+                    .run(&mut cl, 10_000_000)
+                    .expect("dotprod"),
+            )
+        })
+    });
+
+    group.bench_function("conv2d_18x18", |b| {
+        let mut weights = [0u32; 9];
+        weights[4] = 2;
+        b.iter(|| {
+            let mut cl = cluster();
+            black_box(
+                Conv2d::new(18, 18, weights)
+                    .run(&mut cl, 10_000_000)
+                    .expect("conv2d"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table I bench: times the tile floorplanner and 3D partitioner for every
+//! configuration, and prints the reproduced table once per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mempool::experiments::Table1;
+use mempool_arch::SpmCapacity;
+use mempool_phys::{Flow, TileImplementation};
+
+fn bench_tiles(c: &mut Criterion) {
+    // Print the regenerated table alongside the timing run.
+    println!("{}", Table1::generate().to_text());
+
+    let mut group = c.benchmark_group("tile_implementation");
+    for flow in Flow::ALL {
+        for capacity in SpmCapacity::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(flow.to_string(), capacity),
+                &(capacity, flow),
+                |b, &(capacity, flow)| {
+                    b.iter(|| {
+                        black_box(TileImplementation::implement(
+                            black_box(capacity),
+                            black_box(flow),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiles);
+criterion_main!(benches);

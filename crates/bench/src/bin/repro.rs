@@ -1,0 +1,131 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p mempool-bench --bin repro -- all
+//! cargo run --release -p mempool-bench --bin repro -- table1 fig6
+//! cargo run --release -p mempool-bench --bin repro -- fig6 --measure
+//! ```
+//!
+//! With `--measure`, the workload constants (cycles/MAC, phase overhead)
+//! are re-measured on the cycle-accurate simulator instead of using the
+//! recorded defaults.
+
+use std::process::ExitCode;
+
+use mempool::dse::DesignSpace;
+use mempool::experiments::{ablations, Claims, ClusterLevel, Evaluation, Fig6, Fig7, Fig8, Fig9, Table1, Table2};
+use mempool_arch::SpmCapacity;
+use mempool_kernels::matmul::PhaseModel;
+use mempool_kernels::measure;
+use mempool_phys::{viz, AreaReport, Flow, GroupImplementation, TileImplementation};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--measure] [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]..."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let measure_flag = args.iter().any(|a| a == "--measure");
+    let mut targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if targets.is_empty() {
+        targets.push("all");
+    }
+    let known = [
+        "all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "ablations", "area", "claims", "cluster", "dse", "layout",
+    ];
+    if targets.iter().any(|t| !known.contains(t)) {
+        return usage();
+    }
+    let want = |name: &str| targets.contains(&"all") || targets.contains(&name);
+
+    let model = if measure_flag {
+        eprintln!("measuring workload constants on the simulator ...");
+        match measure::measure_constants() {
+            Ok(constants) => {
+                let model = constants.phase_model(SpmCapacity::MATMUL_MATRIX_DIM, 256);
+                eprintln!(
+                    "measured: {:.2} cycles/MAC, {:.0} cycles/phase overhead",
+                    model.cycles_per_mac, model.phase_overhead
+                );
+                model
+            }
+            Err(e) => {
+                eprintln!("measurement failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        PhaseModel::with_measured_defaults()
+    };
+
+    let needs_eval = want("table2")
+        || want("fig7")
+        || want("fig8")
+        || want("fig9")
+        || want("claims")
+        || want("dse");
+    let eval = needs_eval.then(|| Evaluation::with_model(model));
+
+    if want("table1") {
+        println!("{}", Table1::generate().to_text());
+    }
+    if want("table2") {
+        println!("{}", Table2::from_evaluation(eval.as_ref().unwrap()).to_text());
+    }
+    if want("fig6") {
+        println!("{}", Fig6::with_model(model).to_text());
+    }
+    if want("ablations") {
+        println!("{}", ablations::full_report());
+    }
+    if want("cluster") {
+        println!("{}", ClusterLevel::generate().to_text());
+    }
+    if want("layout") {
+        // Figure 3: memory-die floorplans.
+        for cap in [SpmCapacity::MiB1, SpmCapacity::MiB4, SpmCapacity::MiB8] {
+            let tile = TileImplementation::implement(cap, Flow::ThreeD);
+            println!("{}", viz::memory_die_floorplan(&tile, 48));
+        }
+        // Figure 4: density map of the 3D 4 MiB group.
+        let g = GroupImplementation::implement(SpmCapacity::MiB4, Flow::ThreeD);
+        println!("{}", viz::group_density_map(&g, 72));
+        // Figure 5: the 8 MiB groups to scale.
+        let g2 = GroupImplementation::implement(SpmCapacity::MiB8, Flow::TwoD);
+        let g3 = GroupImplementation::implement(SpmCapacity::MiB8, Flow::ThreeD);
+        println!("{}", viz::group_floorplan(&g2, &g3));
+    }
+    if let Some(eval) = &eval {
+        if want("fig7") {
+            println!("{}", Fig7::from_evaluation(eval).to_text());
+        }
+        if want("fig8") {
+            println!("{}", Fig8::from_evaluation(eval).to_text());
+        }
+        if want("fig9") {
+            println!("{}", Fig9::from_evaluation(eval).to_text());
+        }
+        if want("claims") {
+            println!("{}", Claims::from_evaluation(eval).to_text());
+        }
+        if want("dse") {
+            println!("{}", DesignSpace::explore(eval).to_text());
+        }
+    }
+    if want("area") {
+        for flow in Flow::ALL {
+            for cap in SpmCapacity::ALL {
+                let group = GroupImplementation::implement(cap, flow);
+                println!("{}", AreaReport::from_group(&group));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

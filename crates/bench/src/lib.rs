@@ -1,0 +1,51 @@
+//! # mempool-bench
+//!
+//! Benchmark harness for the MemPool-3D reproduction. The `repro` binary
+//! regenerates every table and figure of the paper's evaluation
+//! (`cargo run -p mempool-bench --bin repro -- all`), and the Criterion
+//! benches under `benches/` time the pieces:
+//!
+//! * `tile_implementation` — Table I (tile floorplan + 3D partitioning);
+//! * `group_implementation` — Table II (full group PPA analysis);
+//! * `matmul_bandwidth_sweep` — Figure 6 (the analytic sweep and the
+//!   simulated compute phase feeding its constants);
+//! * `performance_sweep` — Figures 7-9 (the combined evaluation);
+//! * `simulator` — raw simulator throughput on the kernel zoo.
+
+/// Renders every experiment to one report string.
+pub fn full_report() -> String {
+    use mempool::experiments::{Evaluation, Fig6, Fig7, Fig8, Fig9, Table1, Table2};
+
+    let eval = Evaluation::new();
+    let mut out = String::new();
+    out.push_str(&Table1::generate().to_text());
+    out.push('\n');
+    out.push_str(&Table2::from_evaluation(&eval).to_text());
+    out.push('\n');
+    out.push_str(&Fig6::generate().to_text());
+    out.push('\n');
+    out.push_str(&Fig7::from_evaluation(&eval).to_text());
+    out.push('\n');
+    out.push_str(&Fig8::from_evaluation(&eval).to_text());
+    out.push('\n');
+    out.push_str(&Fig9::from_evaluation(&eval).to_text());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn full_report_contains_every_experiment() {
+        let report = super::full_report();
+        for needle in [
+            "Table I",
+            "Table II",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+        ] {
+            assert!(report.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Figure 8: energy efficiency versus SPM capacity (16 B/cycle).
+
+use mempool_arch::SpmCapacity;
+use mempool_phys::Flow;
+
+use crate::design::DesignPoint;
+use crate::experiments::{Evaluation, SECTION_VI_B_BANDWIDTH};
+
+use crate::table::TextTable;
+
+/// One bar of Figure 8.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Bar {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Energy efficiency relative to MemPool-2D(1 MiB). Higher is better.
+    pub efficiency: f64,
+    /// Gain of the 3D instance over its 2D counterpart (3D bars only).
+    pub gain_over_2d: Option<f64>,
+}
+
+/// The reproduced Figure 8.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    bars: Vec<Fig8Bar>,
+}
+
+impl Fig8 {
+    /// Computes the figure from an evaluation.
+    pub fn from_evaluation(eval: &Evaluation) -> Self {
+        let bw = SECTION_VI_B_BANDWIDTH;
+        let bars = DesignPoint::all_capacity_major()
+            .map(|point| {
+                let efficiency = eval.efficiency(point, bw);
+                let gain_over_2d = match point.flow {
+                    Flow::TwoD => None,
+                    Flow::ThreeD => Some(
+                        efficiency / eval.efficiency(Evaluation::two_d_counterpart(point), bw),
+                    ),
+                };
+                Fig8Bar {
+                    point,
+                    efficiency,
+                    gain_over_2d,
+                }
+            })
+            .collect();
+        Fig8 { bars }
+    }
+
+    /// Implements everything and computes the figure.
+    pub fn generate() -> Self {
+        Self::from_evaluation(&Evaluation::new())
+    }
+
+    /// All bars in capacity-major order.
+    pub fn bars(&self) -> &[Fig8Bar] {
+        &self.bars
+    }
+
+    /// Looks up one bar.
+    pub fn bar(&self, flow: Flow, capacity: SpmCapacity) -> &Fig8Bar {
+        self.bars
+            .iter()
+            .find(|b| b.point.flow == flow && b.point.capacity == capacity)
+            .expect("all eight bars exist")
+    }
+
+    /// Renders the figure as text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Figure 8: energy efficiency vs SPM capacity ({SECTION_VI_B_BANDWIDTH} B/cycle, relative to MemPool-2D_1MiB; higher is better)\n"
+        ));
+        let mut t = TextTable::new(["design", "efficiency", "3D vs 2D"]);
+        for bar in &self.bars {
+            t.row([
+                bar.point.name(),
+                format!("{:.3}", bar.efficiency),
+                bar.gain_over_2d
+                    .map_or("-".to_string(), |g| format!("+{:.1} %", (g - 1.0) * 100.0)),
+            ]);
+        }
+        out.push_str(&t.to_string());
+        out.push_str(&format!(
+            "3D 1MiB vs baseline: {:+.1} % (paper: +14 %)\n3D vs 2D at 4 MiB: {:+.1} % (paper: +18.4 %)\n",
+            (self.bar(Flow::ThreeD, SpmCapacity::MiB1).efficiency - 1.0) * 100.0,
+            (self.bar(Flow::ThreeD, SpmCapacity::MiB4).gain_over_2d.unwrap() - 1.0) * 100.0,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    fn fig() -> Fig8 {
+        Fig8::generate()
+    }
+
+    #[test]
+    fn three_d_is_more_efficient_at_every_capacity() {
+        let f = fig();
+        for cap in SpmCapacity::ALL {
+            assert!(f.bar(Flow::ThreeD, cap).gain_over_2d.unwrap() > 1.0, "{cap}");
+        }
+    }
+
+    #[test]
+    fn efficiency_decreases_with_capacity_in_2d() {
+        // Paper: "increasing the SPM size in the 2D case leads to worse
+        // energy efficiency", bottoming out ~21 % below baseline.
+        let f = fig();
+        let mut last = f64::MAX;
+        for cap in SpmCapacity::ALL {
+            let e = f.bar(Flow::TwoD, cap).efficiency;
+            assert!(e < last + 0.02, "{cap}: 2D efficiency {e:.3} must trend down");
+            last = e;
+        }
+        let e8 = f.bar(Flow::TwoD, SpmCapacity::MiB8).efficiency;
+        assert!(
+            (0.72..0.90).contains(&e8),
+            "2D 8 MiB efficiency {e8:.3} (paper: 0.79)"
+        );
+    }
+
+    #[test]
+    fn headline_gains_near_paper() {
+        let f = fig();
+        let g1 = f.bar(Flow::ThreeD, SpmCapacity::MiB1).efficiency;
+        assert!(
+            (g1 - paper::FIG8_3D_1MIB_VS_BASELINE).abs() < 0.06,
+            "3D 1 MiB efficiency {g1:.3} vs paper {:.3}",
+            paper::FIG8_3D_1MIB_VS_BASELINE
+        );
+        let g4 = f.bar(Flow::ThreeD, SpmCapacity::MiB4).gain_over_2d.unwrap();
+        assert!(
+            (g4 - paper::FIG8_3D_VS_2D_4MIB).abs() < 0.06,
+            "4 MiB 3D gain {g4:.3} vs paper {:.3}",
+            paper::FIG8_3D_VS_2D_4MIB
+        );
+    }
+
+    #[test]
+    fn three_d_4mib_beats_the_baseline_despite_4x_spm() {
+        // Paper: MemPool-3D(4 MiB) runs on an energy budget smaller than
+        // MemPool-2D(1 MiB) — efficiency above 1.0.
+        let f = fig();
+        assert!(f.bar(Flow::ThreeD, SpmCapacity::MiB4).efficiency > 1.0);
+    }
+
+    #[test]
+    fn all_but_largest_3d_beat_the_baseline() {
+        // Paper: "all but the largest 3D designs achieve a better energy
+        // efficiency than the 2D baseline".
+        let f = fig();
+        for cap in [SpmCapacity::MiB1, SpmCapacity::MiB2, SpmCapacity::MiB4] {
+            assert!(f.bar(Flow::ThreeD, cap).efficiency > 1.0, "{cap}");
+        }
+    }
+
+    #[test]
+    fn rendering_mentions_the_paper() {
+        assert!(fig().to_text().contains("paper"));
+    }
+}

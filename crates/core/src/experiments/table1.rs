@@ -1,0 +1,148 @@
+//! Table I: tile implementation results.
+
+use mempool_phys::report::TileReport;
+
+use crate::design::DesignPoint;
+use crate::paper;
+use crate::table::TextTable;
+
+/// One row of the reproduced Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Raw tile report.
+    pub report: TileReport,
+    /// Footprint normalized to the 2D 1 MiB tile.
+    pub footprint_norm: f64,
+    /// The paper's normalized footprint for this row.
+    pub paper_footprint_norm: f64,
+}
+
+/// The reproduced Table I.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Implements all eight tiles and builds the table.
+    pub fn generate() -> Self {
+        let baseline = DesignPoint::baseline().implement_tile().footprint_um2();
+        let rows = DesignPoint::all()
+            .map(|point| {
+                let tile = point.implement_tile();
+                Table1Row {
+                    footprint_norm: tile.footprint_um2() / baseline,
+                    paper_footprint_norm: paper::tile_footprint(point.flow, point.capacity),
+                    report: TileReport::from(&tile),
+                    point,
+                }
+            })
+            .collect();
+        Table1 { rows }
+    }
+
+    /// The rows, 2D first, capacities ascending.
+    pub fn rows(&self) -> &[Table1Row] {
+        &self.rows
+    }
+
+    /// Renders the table with a measured-vs-paper footprint comparison.
+    pub fn to_text(&self) -> String {
+        let mut table = TextTable::new([
+            "design",
+            "footprint",
+            "paper",
+            "logic util",
+            "mem util",
+            "paper mem",
+        ]);
+        for row in &self.rows {
+            let mem = row
+                .report
+                .memory_die_utilization
+                .map_or("-".to_string(), |u| format!("{:.0} %", u * 100.0));
+            let paper_mem = if row.report.memory_die_utilization.is_some() {
+                format!(
+                    "{:.0} %",
+                    paper::tile_memory_die_utilization(row.point.capacity) * 100.0
+                )
+            } else {
+                "-".to_string()
+            };
+            table.row([
+                row.point.name(),
+                format!("{:.3}", row.footprint_norm),
+                format!("{:.3}", row.paper_footprint_norm),
+                format!("{:.0} %", row.report.logic_die_utilization * 100.0),
+                mem,
+                paper_mem,
+            ]);
+        }
+        format!("Table I: MemPool tile implementation results\n{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool_arch::SpmCapacity;
+    use mempool_phys::Flow;
+
+    #[test]
+    fn has_eight_rows_with_unit_baseline() {
+        let t = Table1::generate();
+        assert_eq!(t.rows().len(), 8);
+        let baseline = &t.rows()[0];
+        assert_eq!(baseline.point, DesignPoint::baseline());
+        assert!((baseline.footprint_norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprints_track_the_paper_within_tolerance() {
+        // Shape tolerance: every normalized footprint within 15 % of the
+        // paper's value.
+        let t = Table1::generate();
+        for row in t.rows() {
+            let rel = (row.footprint_norm - row.paper_footprint_norm).abs()
+                / row.paper_footprint_norm;
+            assert!(
+                rel < 0.15,
+                "{}: footprint {:.3} vs paper {:.3} ({:.0} % off)",
+                row.point,
+                row.footprint_norm,
+                row.paper_footprint_norm,
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn memory_die_utilization_tracks_the_paper() {
+        let t = Table1::generate();
+        for row in t.rows() {
+            if row.point.flow != Flow::ThreeD {
+                continue;
+            }
+            let measured = row.report.memory_die_utilization.unwrap();
+            let expected = paper::tile_memory_die_utilization(row.point.capacity);
+            assert!(
+                (measured - expected).abs() < 0.10,
+                "{}: memory-die util {:.2} vs paper {:.2}",
+                row.point,
+                measured,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_contains_all_designs() {
+        let text = Table1::generate().to_text();
+        for cap in SpmCapacity::ALL {
+            assert!(text.contains(&format!("MemPool-2D_{}MiB", cap.mebibytes())));
+            assert!(text.contains(&format!("MemPool-3D_{}MiB", cap.mebibytes())));
+        }
+    }
+}

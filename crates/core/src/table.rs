@@ -1,0 +1,139 @@
+//! Minimal fixed-width text table formatter for the experiment reports.
+
+use std::fmt;
+
+/// A simple right-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use mempool::table::TextTable;
+///
+/// let mut t = TextTable::new(["design", "freq"]);
+/// t.row(["2D 1MiB".to_string(), "1.000".to_string()]);
+/// let s = t.to_string();
+/// assert!(s.contains("design"));
+/// assert!(s.contains("1.000"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<const N: usize>(headers: [&str; N]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the header count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header row.
+    pub fn row<const N: usize>(&mut self, cells: [String; N]) -> &mut Self {
+        assert_eq!(N, self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a row from a vector (for dynamic column counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header row.
+    pub fn row_vec(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    write!(f, "{cell:<width$}")?;
+                } else {
+                    write!(f, "  {cell:>width$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as the paper does: `0.665 (-33 %)`.
+pub fn ratio_with_delta(value: f64, reference: f64) -> String {
+    let delta = (value / reference - 1.0) * 100.0;
+    format!("{value:.3} ({delta:+.1} %)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a".into(), "1".into()]);
+        t.row(["long-name".into(), "123.456".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All lines equal width (right-aligned last column).
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row_vec(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio_with_delta(0.665, 1.0), "0.665 (-33.5 %)");
+        assert_eq!(ratio_with_delta(1.1, 1.0), "1.100 (+10.0 %)");
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = TextTable::new(["x"]);
+        assert!(t.is_empty());
+        t.row(["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

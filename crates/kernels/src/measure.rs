@@ -1,0 +1,207 @@
+//! Measurement of the analytic model's constants on the cycle-accurate
+//! simulator.
+//!
+//! The paper measures its compute phases "with a hot instruction cache"
+//! on RTL simulation and accumulates phases analytically; this module does
+//! the same on `mempool-sim`. Because a full 256-core instance is slow to
+//! sweep, the per-MAC cost is measured on a 16-core instance (the inner
+//! loop's behavior is per-core and bank-local, so it transfers), and the
+//! barrier cost — which serializes on one bank and therefore scales with
+//! the core count — is measured at several core counts and extrapolated
+//! linearly.
+
+use mempool_arch::ClusterConfig;
+use mempool_isa::Program;
+use mempool_sim::{Cluster, SimParams};
+
+use crate::barrier::barrier_asm;
+use crate::matmul::{Blocking, ComputePhase, PhaseModel};
+use crate::workload::{Kernel, KernelError};
+
+/// Constants measured on the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredConstants {
+    /// Cycles per multiply-accumulate in the compute phase's steady state.
+    pub cycles_per_mac: f64,
+    /// Per-phase static overhead (loop setup), excluding the barrier.
+    pub loop_overhead: f64,
+    /// Barrier cost per participating core (the serialized atomics).
+    pub barrier_cycles_per_core: f64,
+    /// Barrier base cost (generation round trip).
+    pub barrier_base_cycles: f64,
+}
+
+impl MeasuredConstants {
+    /// Builds a [`PhaseModel`] for a cluster of `num_cores` cores from
+    /// these measurements.
+    pub fn phase_model(&self, m: u64, num_cores: u64) -> PhaseModel {
+        PhaseModel {
+            m,
+            num_cores,
+            cycles_per_mac: self.cycles_per_mac,
+            phase_overhead: self.loop_overhead
+                + self.barrier_base_cycles
+                + self.barrier_cycles_per_core * num_cores as f64,
+        }
+    }
+}
+
+fn measurement_cluster() -> Result<Cluster, KernelError> {
+    let cfg = ClusterConfig::builder()
+        .groups(1)
+        .tiles_per_group(4)
+        .cores_per_tile(4)
+        .banks_per_tile(16)
+        .bank_words(512)
+        .build()
+        .map_err(|e| KernelError::BadShape {
+            detail: e.to_string(),
+        })?;
+    Ok(Cluster::new(cfg, SimParams::default()))
+}
+
+/// Measures the compute-phase constants by running two tile sizes and
+/// solving for the slope (cycles/MAC) and intercept (setup overhead),
+/// using the default (1x2-blocked) inner loop.
+///
+/// # Errors
+///
+/// Propagates simulation and verification errors.
+pub fn measure_compute_constants() -> Result<(f64, f64), KernelError> {
+    measure_compute_constants_with(Blocking::OneByTwo)
+}
+
+/// Measures the compute-phase constants for a specific inner-loop shape —
+/// the code-quality axis of the kernel: the staggered variant lands near
+/// the 3.2 cycles/MAC the recorded Figure 6 model uses.
+///
+/// # Errors
+///
+/// Propagates simulation and verification errors.
+pub fn measure_compute_constants_with(blocking: Blocking) -> Result<(f64, f64), KernelError> {
+    let mut cycles = Vec::new();
+    let mut macs = Vec::new();
+    for p in [32u32, 64] {
+        let mut cluster = measurement_cluster()?;
+        let phase = ComputePhase::new(p).with_blocking(blocking);
+        let c = phase.run(&mut cluster, 100_000_000)?;
+        cycles.push(c as f64);
+        macs.push(phase.total_macs() as f64 / cluster.config().num_cores() as f64);
+    }
+    let cpm = (cycles[1] - cycles[0]) / (macs[1] - macs[0]);
+    let overhead = (cycles[0] - cpm * macs[0]).max(0.0);
+    Ok((cpm, overhead))
+}
+
+/// Measures the barrier cost at two core counts and fits a line.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn measure_barrier_constants() -> Result<(f64, f64), KernelError> {
+    let mut points = Vec::new();
+    for (tiles, cores) in [(2u32 * 2, 2u32), (4 * 4, 4)] {
+        let side = (tiles as f64).sqrt() as u32;
+        let cfg = ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(side * side)
+            .cores_per_tile(cores)
+            .banks_per_tile(4)
+            .bank_words(256)
+            .build()
+            .map_err(|e| KernelError::BadShape {
+                detail: e.to_string(),
+            })?;
+        let n = cfg.num_cores();
+        let src = format!("li s10, 0x100\nli s11, 0x104\n{}\nwfi", barrier_asm(n, "0"));
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        cluster.load_program(Program::assemble(&src)?);
+        cluster.preload_icaches();
+        let cycles = cluster.run(10_000_000)?;
+        points.push((n as f64, cycles as f64));
+    }
+    let slope = (points[1].1 - points[0].1) / (points[1].0 - points[0].0);
+    let base = (points[0].1 - slope * points[0].0).max(0.0);
+    Ok((slope, base))
+}
+
+/// Runs both measurements.
+///
+/// # Errors
+///
+/// Propagates simulation and verification errors.
+pub fn measure_constants() -> Result<MeasuredConstants, KernelError> {
+    let (cycles_per_mac, loop_overhead) = measure_compute_constants()?;
+    let (barrier_cycles_per_core, barrier_base_cycles) = measure_barrier_constants()?;
+    Ok(MeasuredConstants {
+        cycles_per_mac,
+        loop_overhead,
+        barrier_cycles_per_core,
+        barrier_base_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_cpm_matches_the_generated_inner_loop() {
+        let (cpm, overhead) = measure_compute_constants().expect("measurement failed");
+        // ~3 issue slots per MAC plus stalls; far from 1 (too optimistic)
+        // and far from 6 (the un-blocked naive loop).
+        assert!((2.5..4.5).contains(&cpm), "cycles/MAC {cpm:.2}");
+        assert!(overhead >= 0.0);
+    }
+
+    #[test]
+    fn blocking_quality_ordering_holds_under_measurement() {
+        let (naive, _) = measure_compute_constants_with(Blocking::Naive).unwrap();
+        let (blocked, _) = measure_compute_constants_with(Blocking::OneByTwo).unwrap();
+        let (staggered, _) = measure_compute_constants_with(Blocking::Staggered).unwrap();
+        assert!(
+            staggered < blocked && blocked < naive,
+            "cycles/MAC must improve with kernel quality: {staggered:.2} < {blocked:.2} < {naive:.2}"
+        );
+        assert!(
+            (2.5..3.8).contains(&staggered),
+            "staggered cycles/MAC {staggered:.2} should match the recorded model constant"
+        );
+    }
+
+    #[test]
+    fn barrier_fit_is_positive_and_superlinear_in_cores() {
+        let (slope, base) = measure_barrier_constants().expect("measurement failed");
+        assert!(slope > 0.5, "barrier slope {slope:.2} cycles/core");
+        assert!(base >= 0.0, "barrier base {base:.2}");
+    }
+
+    #[test]
+    fn full_model_lands_near_the_default_constants() {
+        let measured = measure_constants().unwrap();
+        let model = measured.phase_model(mempool_arch::SpmCapacity::MATMUL_MATRIX_DIM, 256);
+        let defaults = PhaseModel::with_measured_defaults();
+        let ratio_cpm = model.cycles_per_mac / defaults.cycles_per_mac;
+        assert!(
+            (0.7..1.4).contains(&ratio_cpm),
+            "measured cycles/MAC {:.2} drifted from the recorded default {:.2}",
+            model.cycles_per_mac,
+            defaults.cycles_per_mac
+        );
+        // The lean measured overhead (one barrier + loop setup) bounds the
+        // recorded full-workload overhead from below: the paper's kernels
+        // additionally pay work (re)distribution and DMA programming per
+        // phase, which the 16-core microbenchmark does not capture.
+        assert!(
+            model.phase_overhead > 200.0,
+            "measured overhead {:.0} is implausibly small",
+            model.phase_overhead
+        );
+        assert!(
+            model.phase_overhead < 3.0 * defaults.phase_overhead,
+            "measured overhead {:.0} exceeds the recorded default {:.0} by >3x",
+            model.phase_overhead,
+            defaults.phase_overhead
+        );
+    }
+}

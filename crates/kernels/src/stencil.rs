@@ -1,0 +1,205 @@
+//! Analytic phase model for a blocked 2D stencil (Jacobi-style 3x3
+//! relaxation) over an off-chip image.
+//!
+//! The paper analyzes its SPM-capacity benefit on a *compute-bound*
+//! matmul and notes that "benefits on memory bound kernels are obviously
+//! larger". This model quantifies that remark: a stencil does `O(t²)`
+//! work per `O(t²)` traffic (no `t`-fold reuse like matmul), so memory
+//! phases dominate, and bigger tiles help through two mechanisms only —
+//! the shrinking halo ratio `((t+2)² / t²)` and the amortized phase
+//! overhead. The capacity benefit is smaller per tile-size doubling than
+//! matmul's, but the *bandwidth sensitivity* is far larger, which is
+//! exactly the claimed effect.
+
+use mempool_arch::SpmCapacity;
+
+/// The stencil phase model.
+///
+/// An `N x N` image resides off-chip; each phase loads a `(t+2) x (t+2)`
+/// input tile (the `t x t` output tile plus its halo), all cores relax it
+/// (9 multiply-accumulates per point), and the output tile is stored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StencilPhaseModel {
+    /// Image dimension.
+    pub n: u64,
+    /// Number of cores sharing a compute phase.
+    pub num_cores: u64,
+    /// Issue-slot cost of one stencil point (9 MACs plus addressing).
+    pub cycles_per_point: f64,
+    /// Static overhead per phase (loop setup plus barrier).
+    pub phase_overhead: f64,
+}
+
+impl StencilPhaseModel {
+    /// The model with constants consistent with the matmul measurements
+    /// (a 3x3 stencil point costs about nine MAC slots plus addressing).
+    pub fn with_measured_defaults() -> Self {
+        StencilPhaseModel {
+            n: SpmCapacity::MATMUL_MATRIX_DIM,
+            num_cores: 256,
+            cycles_per_point: 30.0,
+            phase_overhead: 9_500.0,
+        }
+    }
+
+    /// Stencil tile dimension for a capacity: the double-buffered input
+    /// and output tiles must fit, `2 * ((t+2)² + t²) * 4 <= capacity`.
+    /// Unlike matmul, the tile dimension need not divide across the cores
+    /// evenly (rows are distributed with a remainder band), so the exact
+    /// maximum is used.
+    pub fn tile_dim(&self, capacity: SpmCapacity) -> u64 {
+        let budget = capacity.bytes() / 8; // two buffers of two tiles
+        // (t+2)^2 + t^2 ~ 2t^2 for the sizes involved; solve exactly by
+        // scanning down from the approximation.
+        let mut t = ((budget / 2) as f64).sqrt() as u64 + 1;
+        while (t + 2) * (t + 2) + t * t > budget {
+            t -= 1;
+        }
+        t
+    }
+
+    /// Cycles of one memory phase: the haloed input tile in, at the
+    /// off-chip bandwidth.
+    pub fn memory_phase_cycles(&self, t: u64, bytes_per_cycle: u32) -> f64 {
+        (4 * (t + 2) * (t + 2)) as f64 / bytes_per_cycle as f64
+    }
+
+    /// Cycles of one compute phase.
+    pub fn compute_phase_cycles(&self, t: u64) -> f64 {
+        (t * t) as f64 / self.num_cores as f64 * self.cycles_per_point + self.phase_overhead
+    }
+
+    /// Cycles to store one output tile.
+    pub fn store_cycles(&self, t: u64, bytes_per_cycle: u32) -> f64 {
+        (4 * t * t) as f64 / bytes_per_cycle as f64
+    }
+
+    /// Total cycles for one full sweep over the image.
+    pub fn total_cycles(&self, capacity: SpmCapacity, bytes_per_cycle: u32) -> f64 {
+        let t = self.tile_dim(capacity);
+        let tiles = (self.n as f64 / t as f64).ceil();
+        tiles
+            * tiles
+            * (self.memory_phase_cycles(t, bytes_per_cycle)
+                + self.compute_phase_cycles(t)
+                + self.store_cycles(t, bytes_per_cycle))
+    }
+
+    /// Cycle-count speedup relative to a reference point.
+    pub fn speedup(
+        &self,
+        capacity: SpmCapacity,
+        bytes_per_cycle: u32,
+        ref_capacity: SpmCapacity,
+        ref_bytes_per_cycle: u32,
+    ) -> f64 {
+        self.total_cycles(ref_capacity, ref_bytes_per_cycle)
+            / self.total_cycles(capacity, bytes_per_cycle)
+    }
+
+    /// Fraction of the runtime spent moving data (memory-boundedness).
+    pub fn memory_fraction(&self, capacity: SpmCapacity, bytes_per_cycle: u32) -> f64 {
+        let t = self.tile_dim(capacity);
+        let mem = self.memory_phase_cycles(t, bytes_per_cycle) + self.store_cycles(t, bytes_per_cycle);
+        mem / (mem + self.compute_phase_cycles(t))
+    }
+}
+
+impl Default for StencilPhaseModel {
+    fn default() -> Self {
+        Self::with_measured_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::PhaseModel;
+
+    #[test]
+    fn tile_dims_fit_their_buffers_tightly() {
+        let model = StencilPhaseModel::with_measured_defaults();
+        for cap in SpmCapacity::ALL {
+            let t = model.tile_dim(cap);
+            let bytes = 8 * ((t + 2) * (t + 2) + t * t);
+            assert!(bytes <= cap.bytes(), "{cap}: t = {t} overflows");
+            // Tight: one more row would not fit.
+            let t1 = t + 1;
+            assert!(
+                8 * ((t1 + 2) * (t1 + 2) + t1 * t1) > cap.bytes(),
+                "{cap}: t = {t} is not maximal"
+            );
+            assert!(t >= 250, "{cap}: t = {t} suspiciously small");
+        }
+    }
+
+    #[test]
+    fn stencil_is_memory_bound_where_matmul_is_not() {
+        let stencil = StencilPhaseModel::with_measured_defaults();
+        // At the realistic 16 B/cycle, the stencil spends most of its time
+        // on data movement.
+        let frac = stencil.memory_fraction(SpmCapacity::MiB1, 16);
+        assert!(frac > 0.5, "stencil memory fraction {frac:.2}");
+        // While matmul at the same point is compute-bound.
+        let matmul = PhaseModel::with_measured_defaults();
+        let t = SpmCapacity::MiB1.matmul_tile_dim();
+        let mm_frac = matmul.memory_phase_cycles(t, 16)
+            / (matmul.memory_phase_cycles(t, 16) + matmul.compute_phase_cycles(t));
+        assert!(mm_frac < 0.2, "matmul memory fraction {mm_frac:.2}");
+    }
+
+    #[test]
+    fn bandwidth_sensitivity_exceeds_matmuls() {
+        // The paper's remark: memory-bound kernels gain more from the
+        // memory system. Quadrupling the bandwidth must help the stencil
+        // far more than the matmul.
+        let stencil = StencilPhaseModel::with_measured_defaults();
+        let matmul = PhaseModel::with_measured_defaults();
+        let stencil_gain =
+            stencil.speedup(SpmCapacity::MiB1, 16, SpmCapacity::MiB1, 4);
+        let matmul_gain = matmul.speedup(SpmCapacity::MiB1, 16, SpmCapacity::MiB1, 4);
+        assert!(
+            stencil_gain > 1.5 * matmul_gain,
+            "stencil bandwidth gain {stencil_gain:.2} vs matmul {matmul_gain:.2}"
+        );
+    }
+
+    #[test]
+    fn capacity_still_helps_via_halo_and_overhead() {
+        let model = StencilPhaseModel::with_measured_defaults();
+        for bw in [4u32, 16, 64] {
+            let s = model.speedup(SpmCapacity::MiB8, bw, SpmCapacity::MiB1, bw);
+            assert!(
+                (1.0..1.6).contains(&s),
+                "8 MiB vs 1 MiB at {bw} B/c: {s:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_benefit_flips_direction_vs_matmul() {
+        // Emergent contrast with Figure 6: matmul's capacity benefit
+        // *shrinks* with bandwidth (it comes from data reuse), while the
+        // stencil's *grows* (at high bandwidth it is phase-overhead-bound,
+        // and big tiles amortize the barrier).
+        let stencil = StencilPhaseModel::with_measured_defaults();
+        let matmul = PhaseModel::with_measured_defaults();
+        let st_low = stencil.speedup(SpmCapacity::MiB8, 4, SpmCapacity::MiB1, 4);
+        let st_high = stencil.speedup(SpmCapacity::MiB8, 64, SpmCapacity::MiB1, 64);
+        let mm_low = matmul.speedup(SpmCapacity::MiB8, 4, SpmCapacity::MiB1, 4);
+        let mm_high = matmul.speedup(SpmCapacity::MiB8, 64, SpmCapacity::MiB1, 64);
+        assert!(st_high > st_low, "stencil: {st_low:.3} -> {st_high:.3}");
+        assert!(mm_high < mm_low, "matmul: {mm_low:.3} -> {mm_high:.3}");
+    }
+
+    #[test]
+    fn memory_fraction_falls_with_bandwidth() {
+        let model = StencilPhaseModel::with_measured_defaults();
+        let mut last = 1.0;
+        for bw in [4u32, 8, 16, 32, 64] {
+            let f = model.memory_fraction(SpmCapacity::MiB4, bw);
+            assert!(f < last);
+            last = f;
+        }
+    }
+}

@@ -1,0 +1,1169 @@
+//! The cluster simulator.
+//!
+//! One [`Cluster`] owns every core, SPM bank, instruction cache, and the
+//! off-chip port, and advances them in lock-step cycles. Each cycle has
+//! three phases:
+//!
+//! 1. **bank service** — every bank serves at most one request whose
+//!    network arrival lies strictly in the past (round-robin via FIFO order
+//!    among contenders, counting conflict cycles);
+//! 2. **response delivery** — completed transactions write back to their
+//!    core's register file and release scoreboard entries;
+//! 3. **issue** — every non-halted core consumes pipeline bubbles, checks
+//!    its I$, and issues at most one instruction through the scoreboard.
+//!
+//! The phase split realizes the paper's zero-load latencies exactly: a
+//! tile-local load issued in cycle `c` is usable in cycle `c+1`, a
+//! group-local one in `c+3`, and a remote one in `c+5`.
+
+use std::fmt;
+
+use mempool_arch::{
+    AccessClass, BankLocation, ClusterConfig, GlobalCoreId, LatencyModel, MemoryRegion, Topology,
+};
+use mempool_isa::exec::{self, Issue, MemAccessKind, MemWidth};
+use mempool_isa::{Program, Reg};
+
+use crate::core::{Core, Stall};
+use crate::icache::ICache;
+use crate::memory::{MemoryError, Storage};
+use crate::offchip::OffchipPort;
+use crate::params::SimParams;
+use crate::stats::{BankStats, ClusterStats};
+use crate::trace::{Trace, TraceEntry};
+
+/// Error raised by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A data access failed.
+    Memory(MemoryError),
+    /// A core's program counter left the program.
+    PcOutOfRange {
+        /// The offending core.
+        core: GlobalCoreId,
+        /// Its program counter.
+        pc: u32,
+    },
+    /// Not all cores halted within the cycle budget.
+    Timeout {
+        /// The exhausted budget.
+        cycles: u64,
+    },
+    /// No program is loaded.
+    NoProgram,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Memory(e) => write!(f, "memory error: {e}"),
+            SimError::PcOutOfRange { core, pc } => {
+                write!(f, "core {core} fetched outside the program at {pc:#010x}")
+            }
+            SimError::Timeout { cycles } => {
+                write!(f, "cluster did not halt within {cycles} cycles")
+            }
+            SimError::NoProgram => f.write_str("no program loaded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MemoryError> for SimError {
+    fn from(e: MemoryError) -> Self {
+        SimError::Memory(e)
+    }
+}
+
+/// A request waiting at (or traveling to) a bank.
+#[derive(Debug, Clone, Copy)]
+struct PendingAccess {
+    /// Cycle the request reaches the bank; servable strictly after.
+    arrival: u64,
+    core: u32,
+    loc: BankLocation,
+    kind: MemAccessKind,
+    resp_latency: u32,
+    /// Byte address, kept for sub-word lane selection.
+    addr: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    queue: Vec<PendingAccess>,
+    stats: BankStats,
+}
+
+/// A completed transaction traveling back to its core.
+#[derive(Debug, Clone, Copy)]
+struct Response {
+    due: u64,
+    reg: Option<Reg>,
+    value: u32,
+}
+
+/// Cycle-accurate model of a MemPool cluster.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    topo: Topology,
+    params: SimParams,
+    storage: Storage,
+    program: Program,
+    cores: Vec<Core>,
+    icaches: Vec<ICache>,
+    banks: Vec<Bank>,
+    responses: Vec<Vec<Response>>,
+    offchip: OffchipPort,
+    cycle: u64,
+    dma_bytes: u64,
+    dma_cycles: u64,
+    trace: Option<Trace>,
+    /// Remote-port grants used per tile in the current cycle.
+    remote_issued: Vec<u32>,
+}
+
+impl Cluster {
+    /// Creates a cluster with zeroed memory and no program.
+    pub fn new(config: ClusterConfig, params: SimParams) -> Self {
+        let num_cores = config.num_cores() as usize;
+        let num_banks = config.num_banks() as usize;
+        let num_tiles = config.num_tiles() as usize;
+        let storage = Storage::new(&config);
+        let icaches = (0..num_tiles)
+            .map(|_| {
+                ICache::with_ways(
+                    config.icache_bytes_per_tile(),
+                    params.icache_line_words,
+                    params.icache_ways,
+                )
+            })
+            .collect();
+        Cluster {
+            topo: Topology::new(config.clone()),
+            config,
+            storage,
+            program: Program::default(),
+            cores: (0..num_cores).map(|_| Core::new()).collect(),
+            icaches,
+            banks: vec![Bank::default(); num_banks],
+            responses: vec![Vec::new(); num_cores],
+            offchip: OffchipPort::new(params.offchip_bytes_per_cycle, params.offchip_latency),
+            params,
+            cycle: 0,
+            dma_bytes: 0,
+            dma_cycles: 0,
+            trace: None,
+            remote_issued: vec![0; num_tiles],
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The simulation parameters.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Loads `program` into every core's instruction path and resets all
+    /// program counters to 0.
+    pub fn load_program(&mut self, program: Program) {
+        self.program = program;
+        for core in &mut self.cores {
+            core.pc = 0;
+        }
+    }
+
+    /// Preloads every tile's I$ with the program (hot-cache measurement
+    /// mode, Section VI-A).
+    pub fn preload_icaches(&mut self) {
+        let words = self.program.len() as u32;
+        for icache in &mut self.icaches {
+            icache.preload(words);
+        }
+    }
+
+    /// Restarts all cores at `pc`, clearing the halted state. Register
+    /// files and memory contents are preserved, so multi-phase kernels can
+    /// pass state between phases.
+    pub fn resume_all(&mut self, pc: u32) {
+        for core in &mut self.cores {
+            core.reset_at(pc);
+        }
+    }
+
+    /// Access to a core's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: GlobalCoreId) -> &Core {
+        &self.cores[core.index()]
+    }
+
+    /// Sets a register of one core (for passing kernel arguments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_reg(&mut self, core: GlobalCoreId, reg: Reg, value: u32) {
+        self.cores[core.index()].regs.write(reg, value);
+    }
+
+    /// Reads a register of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn reg(&self, core: GlobalCoreId, reg: Reg) -> u32 {
+        self.cores[core.index()].regs.read(reg)
+    }
+
+    /// Reads an SPM or external word directly (no timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmapped or misaligned addresses.
+    pub fn read_spm_word(&self, addr: u32) -> Result<u32, SimError> {
+        Ok(self.storage.read(addr, MemWidth::Word)?)
+    }
+
+    /// Writes an SPM or external word directly (no timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmapped or misaligned addresses.
+    pub fn write_spm_word(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        Ok(self.storage.write(addr, MemWidth::Word, value)?)
+    }
+
+    /// The storage backing the SPM and external memory.
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Mutable access to the backing storage (for bulk initialization).
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Whether every core has halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(Core::halted)
+    }
+
+    /// Whether the cluster is fully quiescent: every core halted *and*
+    /// every in-flight memory transaction drained. `wfi` does not cancel
+    /// outstanding transactions, so a run only ends here.
+    pub fn quiescent(&self) -> bool {
+        self.all_halted()
+            && self.banks.iter().all(|b| b.queue.is_empty())
+            && self.responses.iter().all(Vec::is_empty)
+    }
+
+    /// Performs a DMA transfer between external memory and the SPM,
+    /// advancing simulated time by the bandwidth-limited transfer cost.
+    ///
+    /// `to_spm` selects the direction. The transfer is modeled as the
+    /// paper's idealized memory phase: data moves as whole words and the
+    /// cluster is quiescent while it runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any SPM address in the range is unmapped.
+    pub fn dma(&mut self, ext_offset: u64, spm_addr: u32, bytes: u64, to_spm: bool) -> Result<u64, SimError> {
+        debug_assert_eq!(bytes % 4, 0, "dma moves whole words");
+        for i in (0..bytes).step_by(4) {
+            if to_spm {
+                let value = self.storage.read_external_word(ext_offset + i);
+                self.storage.write(spm_addr + i as u32, MemWidth::Word, value)?;
+            } else {
+                let value = self.storage.read(spm_addr + i as u32, MemWidth::Word)?;
+                self.storage.write_external_word(ext_offset + i, value);
+            }
+        }
+        let done = self.offchip.schedule(self.cycle, bytes);
+        let elapsed = done - self.cycle;
+        self.cycle = done;
+        self.dma_bytes += bytes;
+        self.dma_cycles += elapsed;
+        Ok(elapsed)
+    }
+
+    /// DMA-transfers a 2D tile between external memory and the SPM: `rows`
+    /// rows of `row_bytes` bytes, laid out in external memory with
+    /// `ext_stride_bytes` between row starts and packed contiguously in the
+    /// SPM starting at `spm_addr`. Charged as a *single* bandwidth-limited
+    /// transfer (the paper idealizes off-chip latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any SPM address in the range is unmapped.
+    pub fn dma_tile(
+        &mut self,
+        ext_base: u64,
+        ext_stride_bytes: u64,
+        spm_addr: u32,
+        rows: u32,
+        row_bytes: u32,
+        to_spm: bool,
+    ) -> Result<u64, SimError> {
+        self.move_tile(ext_base, ext_stride_bytes, spm_addr, rows, row_bytes, to_spm)?;
+        let bytes = rows as u64 * row_bytes as u64;
+        let done = self.offchip.schedule(self.cycle, bytes);
+        let elapsed = done - self.cycle;
+        self.cycle = done;
+        self.dma_bytes += bytes;
+        self.dma_cycles += elapsed;
+        Ok(elapsed)
+    }
+
+    /// Starts an *asynchronous* tile DMA: the transfer occupies the
+    /// off-chip port (serializing with other transfers) but simulated time
+    /// does **not** advance — the cores keep running, which is what makes
+    /// double-buffered kernels possible. Returns the completion cycle.
+    ///
+    /// Data movement is applied immediately; by the double-buffering
+    /// contract the program must not touch the destination buffer before
+    /// [`Self::advance_to`] the returned cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any SPM address in the range is unmapped.
+    pub fn dma_tile_async(
+        &mut self,
+        ext_base: u64,
+        ext_stride_bytes: u64,
+        spm_addr: u32,
+        rows: u32,
+        row_bytes: u32,
+        to_spm: bool,
+    ) -> Result<u64, SimError> {
+        self.move_tile(ext_base, ext_stride_bytes, spm_addr, rows, row_bytes, to_spm)?;
+        let bytes = rows as u64 * row_bytes as u64;
+        let done = self.offchip.schedule(self.cycle, bytes);
+        self.dma_bytes += bytes;
+        Ok(done)
+    }
+
+    /// Advances simulated time to at least `cycle` with the cores idle
+    /// (waiting on an asynchronous DMA); the waiting cycles are accounted
+    /// as DMA time.
+    pub fn advance_to(&mut self, cycle: u64) {
+        if cycle > self.cycle {
+            self.dma_cycles += cycle - self.cycle;
+            self.cycle = cycle;
+        }
+    }
+
+    fn move_tile(
+        &mut self,
+        ext_base: u64,
+        ext_stride_bytes: u64,
+        spm_addr: u32,
+        rows: u32,
+        row_bytes: u32,
+        to_spm: bool,
+    ) -> Result<(), SimError> {
+        debug_assert_eq!(row_bytes % 4, 0);
+        for r in 0..rows as u64 {
+            let ext_row = ext_base + r * ext_stride_bytes;
+            let spm_row = spm_addr + r as u32 * row_bytes;
+            for i in (0..row_bytes as u64).step_by(4) {
+                if to_spm {
+                    let value = self.storage.read_external_word(ext_row + i);
+                    self.storage
+                        .write(spm_row + i as u32, MemWidth::Word, value)?;
+                } else {
+                    let value = self.storage.read(spm_row + i as u32, MemWidth::Word)?;
+                    self.storage.write_external_word(ext_row + i, value);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn latency_split(latency: &LatencyModel, class: AccessClass) -> (u32, u32) {
+        let total = latency.cycles(class);
+        let request = (total - 1) / 2;
+        (request, total - 1 - request)
+    }
+
+    /// Advances the cluster by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on fetch or data-access faults.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.serve_banks()?;
+        self.deliver_responses();
+        self.issue_cores()?;
+        self.cycle += 1;
+        Ok(())
+    }
+
+    fn serve_banks(&mut self) -> Result<(), SimError> {
+        let now = self.cycle;
+        for bank in &mut self.banks {
+            bank.stats.max_queue_depth = bank.stats.max_queue_depth.max(bank.queue.len() as u64);
+            let mut best: Option<usize> = None;
+            let mut contenders = 0;
+            for (i, access) in bank.queue.iter().enumerate() {
+                if access.arrival < now {
+                    contenders += 1;
+                    let better = match best {
+                        None => true,
+                        Some(b) => access.arrival < bank.queue[b].arrival,
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(index) = best else { continue };
+            if contenders > 1 {
+                bank.stats.conflicts += (contenders - 1) as u64;
+            }
+            let access = bank.queue.swap_remove(index);
+            bank.stats.served += 1;
+            let old_word = self.storage.read_loc(access.loc)?;
+            let shift = (access.addr & 3) * 8;
+            let response_value = match access.kind {
+                MemAccessKind::Load { width, .. } => match width {
+                    MemWidth::Byte => (old_word >> shift) & 0xff,
+                    MemWidth::Half => (old_word >> shift) & 0xffff,
+                    MemWidth::Word => old_word,
+                },
+                MemAccessKind::Store { width, value } => {
+                    let new = match width {
+                        MemWidth::Byte => {
+                            (old_word & !(0xff << shift)) | ((value & 0xff) << shift)
+                        }
+                        MemWidth::Half => {
+                            (old_word & !(0xffff << shift)) | ((value & 0xffff) << shift)
+                        }
+                        MemWidth::Word => value,
+                    };
+                    self.storage.write_loc(access.loc, new)?;
+                    0
+                }
+                MemAccessKind::Amo { op, value, .. } => {
+                    self.storage
+                        .write_loc(access.loc, op.apply(old_word, value))?;
+                    old_word
+                }
+            };
+            let reg = access.kind.response_reg();
+            let raw = sign_adjust(access.kind, response_value);
+            self.responses[access.core as usize].push(Response {
+                due: now + access.resp_latency as u64,
+                reg,
+                value: raw,
+            });
+        }
+        Ok(())
+    }
+
+    fn deliver_responses(&mut self) {
+        let now = self.cycle;
+        for (core, responses) in self.cores.iter_mut().zip(&mut self.responses) {
+            let mut i = 0;
+            while i < responses.len() {
+                if responses[i].due <= now {
+                    let r = responses.swap_remove(i);
+                    core.complete(r.reg, r.value);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn issue_cores(&mut self) -> Result<(), SimError> {
+        if self.program.is_empty() {
+            return Err(SimError::NoProgram);
+        }
+        let now = self.cycle;
+        let cores_per_tile = self.config.cores_per_tile();
+        self.remote_issued.fill(0);
+        for index in 0..self.cores.len() {
+            let core_id = GlobalCoreId::new(index as u32);
+            let (tile, _) = core_id.split(cores_per_tile);
+            let core = &mut self.cores[index];
+            if core.halted() {
+                core.stats.halted_cycles += 1;
+                continue;
+            }
+            if core.consume_bubble() {
+                continue;
+            }
+            let pc = core.pc;
+            if !self.icaches[tile.index()].access(pc) {
+                let penalty = self.params.icache_miss_penalty;
+                core.insert_bubble(penalty);
+                core.stats.stall_icache += penalty as u64;
+                continue;
+            }
+            let Some(instr) = self.program.fetch(pc) else {
+                return Err(SimError::PcOutOfRange { core: core_id, pc });
+            };
+            match core.check_issue(instr, self.params.max_outstanding) {
+                Err(Stall::Scoreboard) => {
+                    core.stats.stall_scoreboard += 1;
+                    continue;
+                }
+                Err(Stall::Structural) => {
+                    core.stats.stall_structural += 1;
+                    continue;
+                }
+                Ok(()) => {}
+            }
+            // Remote-port arbitration: accesses leaving the tile go through
+            // its limited remote request ports (4 in MemPool); a tile whose
+            // ports are taken this cycle stalls further remote issues.
+            if let Some(addr) = mem_probe_addr(instr, &core.regs) {
+                if let MemoryRegion::Spm(loc) = self.storage.map().locate(addr & !3) {
+                    if loc.tile != tile {
+                        let used = &mut self.remote_issued[tile.index()];
+                        if *used >= self.config.remote_ports_per_tile() {
+                            core.stats.stall_structural += 1;
+                            continue;
+                        }
+                        *used += 1;
+                    }
+                }
+            }
+            core.stats.retired += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEntry {
+                    cycle: now,
+                    core: core_id,
+                    pc,
+                    instr,
+                });
+            }
+            match exec::issue(instr, pc, &mut core.regs, index as u32) {
+                Issue::Next { pc: next } => {
+                    if next != pc.wrapping_add(4) && self.params.taken_branch_penalty > 0 {
+                        core.insert_bubble(self.params.taken_branch_penalty);
+                        core.stats.stall_branch += self.params.taken_branch_penalty as u64;
+                    }
+                    core.pc = next;
+                }
+                Issue::Halt => core.halt(),
+                Issue::Mem { req, next_pc } => {
+                    core.pc = next_pc;
+                    let width = match req.kind {
+                        MemAccessKind::Load { width, .. } | MemAccessKind::Store { width, .. } => {
+                            width
+                        }
+                        MemAccessKind::Amo { .. } => MemWidth::Word,
+                    };
+                    match self.storage.decode(req.addr, width)? {
+                        MemoryRegion::Spm(loc) => {
+                            let class = LatencyModel::classify(&self.config, tile, loc.tile);
+                            core.stats.record_access(class, self.topo.route(tile, loc.tile).network);
+                            core.mark_pending(req.kind.response_reg());
+                            let (req_lat, resp_lat) =
+                                Self::latency_split(&self.params.latency, class);
+                            let bank = loc.global_bank(&self.config);
+                            self.banks[bank.index()].queue.push(PendingAccess {
+                                arrival: now + req_lat as u64,
+                                core: index as u32,
+                                loc,
+                                kind: req.kind,
+                                resp_latency: resp_lat,
+                                addr: req.addr,
+                            });
+                        }
+                        MemoryRegion::External(_) => {
+                            // Word-granular access over the off-chip port.
+                            core.mark_pending(req.kind.response_reg());
+                            let done = self.offchip.schedule(now, width.bytes() as u64);
+                            let value = match req.kind {
+                                MemAccessKind::Load { .. } => {
+                                    self.storage.read(req.addr, width)?
+                                }
+                                MemAccessKind::Store { value, .. } => {
+                                    self.storage.write(req.addr, width, value)?;
+                                    0
+                                }
+                                MemAccessKind::Amo { op, value, .. } => {
+                                    let old = self.storage.read(req.addr, MemWidth::Word)?;
+                                    self.storage.write(
+                                        req.addr,
+                                        MemWidth::Word,
+                                        op.apply(old, value),
+                                    )?;
+                                    old
+                                }
+                            };
+                            self.responses[index].push(Response {
+                                due: done,
+                                reg: req.kind.response_reg(),
+                                value: sign_adjust(req.kind, value),
+                            });
+                        }
+                        MemoryRegion::Unmapped => unreachable!("decode rejects unmapped"),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs until every core halts, returning the cycle count at that
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if the budget is exhausted first, or
+    /// any fault raised while stepping.
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, SimError> {
+        let deadline = self.cycle + max_cycles;
+        while !self.quiescent() {
+            if self.cycle >= deadline {
+                return Err(SimError::Timeout { cycles: max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.cycle)
+    }
+
+    /// Collects a snapshot of all statistics.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            cycles: self.cycle,
+            cores: self.cores.iter().map(|c| c.stats).collect(),
+            banks: self.banks.iter().map(|b| b.stats).collect(),
+            dma_bytes: self.dma_bytes,
+            dma_cycles: self.dma_cycles,
+        }
+    }
+
+    /// Enables instruction tracing, keeping the most recent `capacity`
+    /// retired instructions across all cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Disables tracing, returning the trace collected so far.
+    pub fn disable_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// The instruction trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The topology helper bound to this cluster's configuration.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+/// Address an instruction is about to access, computed *without* side
+/// effects (post-increments are not applied) — used for remote-port
+/// arbitration before the instruction actually issues.
+fn mem_probe_addr(instr: mempool_isa::Instr, regs: &mempool_isa::RegFile) -> Option<u32> {
+    use mempool_isa::Instr;
+    match instr {
+        Instr::Load { rs1, offset, .. } | Instr::Store { rs1, offset, .. } => {
+            Some(regs.read(rs1).wrapping_add(offset as u32))
+        }
+        Instr::Amo { rs1, .. } | Instr::LwPostInc { rs1, .. } | Instr::SwPostInc { rs1, .. } => {
+            Some(regs.read(rs1))
+        }
+        _ => None,
+    }
+}
+
+/// Applies load sign-extension for sub-word loads.
+fn sign_adjust(kind: MemAccessKind, raw: u32) -> u32 {
+    match kind {
+        MemAccessKind::Load {
+            width,
+            signed: true,
+            ..
+        } => match width {
+            MemWidth::Byte => raw as u8 as i8 as i32 as u32,
+            MemWidth::Half => raw as u16 as i16 as i32 as u32,
+            MemWidth::Word => raw,
+        },
+        _ => raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool_arch::SpmCapacity;
+
+    fn tiny_config() -> ClusterConfig {
+        ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(1)
+            .cores_per_tile(1)
+            .banks_per_tile(4)
+            .bank_words(64)
+            .build()
+            .unwrap()
+    }
+
+    fn run_program(cfg: ClusterConfig, src: &str) -> Cluster {
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        cluster.load_program(Program::assemble(src).unwrap());
+        cluster.preload_icaches();
+        cluster.run(1_000_000).expect("simulation failed");
+        cluster
+    }
+
+    #[test]
+    fn single_core_computes_correctly() {
+        let cluster = run_program(
+            tiny_config(),
+            r#"
+                li   a0, 0
+                li   a1, 1
+                li   a2, 101
+            loop:
+                add  a0, a0, a1
+                addi a1, a1, 1
+                blt  a1, a2, loop
+                li   t0, 0
+                sw   a0, 0(t0)
+                wfi
+            "#,
+        );
+        assert_eq!(cluster.read_spm_word(0).unwrap(), 5050);
+    }
+
+    #[test]
+    fn tile_local_load_latency_is_one_cycle() {
+        // Dependent chain: lw then immediate use. Measure against a version
+        // with a nop between them; both should take the same time because
+        // one cycle of latency is hidden by the next instruction.
+        let mut c1 = Cluster::new(tiny_config(), SimParams::default());
+        c1.load_program(Program::assemble("li t0, 0\nlw a0, 0(t0)\nadd a1, a0, a0\nwfi").unwrap());
+        c1.preload_icaches();
+        let cycles_dependent = c1.run(1000).unwrap();
+
+        let mut c2 = Cluster::new(tiny_config(), SimParams::default());
+        c2.load_program(
+            Program::assemble("li t0, 0\nlw a0, 0(t0)\nadd a1, zero, zero\nwfi").unwrap(),
+        );
+        c2.preload_icaches();
+        let cycles_independent = c2.run(1000).unwrap();
+        assert_eq!(
+            cycles_dependent, cycles_independent,
+            "a 1-cycle load-use latency must be fully hidden by the pipeline"
+        );
+        // And no scoreboard stalls should have occurred.
+        assert_eq!(c1.stats().cores[0].stall_scoreboard, 0);
+    }
+
+    #[test]
+    fn scoreboard_allows_independent_work_under_load() {
+        // A load followed by 3 independent adds: the adds issue while the
+        // load is outstanding.
+        let cluster = run_program(
+            tiny_config(),
+            r#"
+                li t0, 0
+                lw a0, 0(t0)
+                addi a1, zero, 1
+                addi a2, zero, 2
+                addi a3, zero, 3
+                add  a4, a0, a1
+                wfi
+            "#,
+        );
+        assert_eq!(cluster.stats().cores[0].stall_scoreboard, 0);
+    }
+
+    #[test]
+    fn bank_conflicts_are_detected() {
+        // Two cores hammer the same bank (same address).
+        let cfg = ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(1)
+            .cores_per_tile(4)
+            .banks_per_tile(4)
+            .bank_words(64)
+            .build()
+            .unwrap();
+        let cluster = run_program(
+            cfg,
+            r#"
+                li   t0, 0
+                li   t1, 32
+            loop:
+                lw   a0, 0(t0)
+                addi t1, t1, -1
+                bnez t1, loop
+                wfi
+            "#,
+        );
+        assert!(
+            cluster.stats().total_conflicts() > 0,
+            "four cores on one bank must conflict"
+        );
+    }
+
+    #[test]
+    fn interleaving_spreads_streaming_accesses() {
+        // One core streams sequential interleaved words: conflict-free.
+        let cfg = tiny_config();
+        let base = {
+            let cluster = Cluster::new(cfg.clone(), SimParams::default());
+            cluster.storage().map().interleaved_base()
+        };
+        let cluster = run_program(
+            cfg,
+            &format!(
+                r#"
+                li   t0, {base}
+                li   t1, 16
+            loop:
+                p.lw a0, 4(t0!)
+                addi t1, t1, -1
+                bnez t1, loop
+                wfi
+                "#
+            ),
+        );
+        assert_eq!(cluster.stats().total_conflicts(), 0);
+        let [local, _, _] = cluster.stats().accesses_by_class();
+        assert_eq!(local, 16);
+    }
+
+    #[test]
+    fn remote_accesses_classified_and_slower() {
+        let cfg = ClusterConfig::builder()
+            .groups(2)
+            .tiles_per_group(1)
+            .cores_per_tile(1)
+            .banks_per_tile(4)
+            .bank_words(64)
+            .build()
+            .unwrap();
+        // Tile 1's sequential region starts at seq_bytes_per_tile.
+        let remote_addr = {
+            let cluster = Cluster::new(cfg.clone(), SimParams::default());
+            cluster.storage().map().seq_addr(mempool_arch::TileId(1), 0)
+        };
+        // Only hart 0 performs the access; the other core parks at `wfi` so
+        // it cannot perturb the measurement.
+        let body = |addr: u32| {
+            format!(
+                r#"
+                    csrr t1, mhartid
+                    bnez t1, done
+                    li   t0, {addr}
+                    lw   a0, 0(t0)
+                    add  a1, a0, a0
+                done:
+                    wfi
+                "#
+            )
+        };
+        let src_remote = body(remote_addr);
+        let src_local = body(0);
+
+        let mut remote = Cluster::new(cfg.clone(), SimParams::default());
+        remote.load_program(Program::assemble(&src_remote).unwrap());
+        remote.preload_icaches();
+        let remote_cycles = remote.run(1000).unwrap();
+
+        let mut local = Cluster::new(cfg, SimParams::default());
+        local.load_program(Program::assemble(&src_local).unwrap());
+        local.preload_icaches();
+        let local_cycles = local.run(1000).unwrap();
+
+        assert_eq!(
+            remote_cycles - local_cycles,
+            4,
+            "remote (5-cycle) vs local (1-cycle) difference must be 4 stall cycles"
+        );
+        let [_, _, remote_count] = remote.stats().accesses_by_class();
+        assert_eq!(remote_count, 1);
+    }
+
+    #[test]
+    fn amo_serializes_atomically_across_cores() {
+        // All cores atomically increment a counter 10 times.
+        let cfg = ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(4)
+            .cores_per_tile(4)
+            .banks_per_tile(4)
+            .bank_words(64)
+            .build()
+            .unwrap();
+        let num_cores = cfg.num_cores();
+        let cluster = run_program(
+            cfg,
+            r#"
+                li   t0, 0
+                li   t1, 10
+                li   t2, 1
+            loop:
+                amoadd.w a0, t2, (t0)
+                addi t1, t1, -1
+                bnez t1, loop
+                wfi
+            "#,
+        );
+        assert_eq!(cluster.read_spm_word(0).unwrap(), num_cores * 10);
+    }
+
+    #[test]
+    fn external_accesses_go_through_the_offchip_port() {
+        let base = mempool_arch::AddressMap::EXTERNAL_BASE;
+        let cfg = tiny_config();
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        cluster
+            .storage_mut()
+            .write_external_word(0, 1234);
+        cluster.load_program(
+            Program::assemble(&format!("li t0, {base}\nlw a0, 0(t0)\nwfi")).unwrap(),
+        );
+        cluster.preload_icaches();
+        let cycles = cluster.run(10_000).unwrap();
+        assert_eq!(
+            cluster.reg(GlobalCoreId::new(0), "a0".parse().unwrap()),
+            1234
+        );
+        assert!(
+            cycles > SimParams::default().offchip_latency as u64,
+            "external load must pay off-chip latency"
+        );
+    }
+
+    #[test]
+    fn dma_costs_match_bandwidth_model() {
+        let cfg = tiny_config();
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        for i in 0..64u64 {
+            cluster.storage_mut().write_external_word(i * 4, i as u32);
+        }
+        let bytes = 256;
+        let elapsed = cluster.dma(0, 0, bytes, true).unwrap();
+        let expected = SimParams::default().offchip_latency as u64
+            + bytes / SimParams::default().offchip_bytes_per_cycle as u64;
+        assert_eq!(elapsed, expected);
+        assert_eq!(cluster.read_spm_word(4 * 10).unwrap(), 10);
+        // Round trip back out.
+        cluster.write_spm_word(0, 999).unwrap();
+        cluster.dma(4096, 0, 4, false).unwrap();
+        assert_eq!(cluster.storage().read_external_word(4096), 999);
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        cluster.load_program(Program::assemble("loop: j loop").unwrap());
+        cluster.preload_icaches();
+        assert_eq!(
+            cluster.run(100).unwrap_err(),
+            SimError::Timeout { cycles: 100 }
+        );
+    }
+
+    #[test]
+    fn missing_program_is_an_error() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        assert_eq!(cluster.step().unwrap_err(), SimError::NoProgram);
+    }
+
+    #[test]
+    fn cold_icache_charges_misses() {
+        let mut cold = Cluster::new(tiny_config(), SimParams::default());
+        cold.load_program(Program::assemble("nop\nnop\nnop\nwfi").unwrap());
+        let cold_cycles = cold.run(10_000).unwrap();
+
+        let mut hot = Cluster::new(tiny_config(), SimParams::default());
+        hot.load_program(Program::assemble("nop\nnop\nnop\nwfi").unwrap());
+        hot.preload_icaches();
+        let hot_cycles = hot.run(10_000).unwrap();
+        assert!(cold_cycles > hot_cycles);
+        assert!(cold.stats().cores[0].stall_icache > 0);
+        assert_eq!(hot.stats().cores[0].stall_icache, 0);
+    }
+
+    #[test]
+    fn full_cluster_instantiates() {
+        let cfg = ClusterConfig::with_capacity(SpmCapacity::MiB1);
+        let cluster = Cluster::new(cfg, SimParams::default());
+        assert_eq!(cluster.config().num_cores(), 256);
+    }
+
+    #[test]
+    fn network_traffic_is_attributed_to_the_right_butterflies() {
+        // 2x2 groups of one tile each; hart 0 (group 0) touches a bank in
+        // every group: local network unused (same tile), east for group 1,
+        // north for group 2, northeast for group 3.
+        let cfg = ClusterConfig::builder()
+            .groups(4)
+            .tiles_per_group(1)
+            .cores_per_tile(1)
+            .banks_per_tile(4)
+            .bank_words(64)
+            .build()
+            .unwrap();
+        let probe = Cluster::new(cfg.clone(), SimParams::default());
+        let addr = |tile: u32| probe.storage().map().seq_addr(mempool_arch::TileId(tile), 0);
+        let src = format!(
+            r#"
+                csrr t1, mhartid
+                bnez t1, done
+                li   t0, {a1}
+                lw   a1, 0(t0)
+                li   t0, {a2}
+                lw   a2, 0(t0)
+                li   t0, {a3}
+                lw   a3, 0(t0)
+            done:
+                wfi
+            "#,
+            a1 = addr(1),
+            a2 = addr(2),
+            a3 = addr(3),
+        );
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        cluster.load_program(Program::assemble(&src).unwrap());
+        cluster.preload_icaches();
+        cluster.run(10_000).unwrap();
+        let nets = cluster.stats().accesses_by_network();
+        // [local, north, northeast, east]
+        assert_eq!(nets, [0, 1, 1, 1], "network attribution {nets:?}");
+    }
+
+    #[test]
+    fn remote_ports_throttle_off_tile_traffic() {
+        // Four cores of tile 0 hammer tile 1's banks every cycle. With
+        // four remote ports they proceed in parallel; with one port they
+        // serialize at issue.
+        let run_with_ports = |ports: u32| {
+            let cfg = ClusterConfig::builder()
+                .groups(1)
+                .tiles_per_group(4)
+                .cores_per_tile(4)
+                .banks_per_tile(4)
+                .bank_words(64)
+                .remote_ports_per_tile(ports)
+                .build()
+                .unwrap();
+            let remote_base = {
+                let probe = Cluster::new(cfg.clone(), SimParams::default());
+                probe.storage().map().seq_addr(mempool_arch::TileId(1), 0)
+            };
+            let src = format!(
+                r#"
+                    csrr t1, mhartid
+                    li   t2, 4
+                    bge  t1, t2, done      # only tile 0's cores participate
+                    li   t0, {remote_base}
+                    slli t3, t1, 2
+                    add  t0, t0, t3        # distinct banks: no bank conflicts
+                    li   t4, 32
+                loop:
+                    lw   a0, 0(t0)
+                    add  a1, a0, a0        # force the latency to be visible
+                    addi t4, t4, -1
+                    bnez t4, loop
+                done:
+                    wfi
+                "#
+            );
+            let mut cluster = Cluster::new(cfg, SimParams::default());
+            cluster.load_program(Program::assemble(&src).unwrap());
+            cluster.preload_icaches();
+            let cycles = cluster.run(1_000_000).unwrap();
+            let stalls: u64 = cluster
+                .stats()
+                .cores
+                .iter()
+                .map(|c| c.stall_structural)
+                .sum();
+            (cycles, stalls)
+        };
+        let (wide_cycles, wide_stalls) = run_with_ports(4);
+        let (narrow_cycles, narrow_stalls) = run_with_ports(1);
+        assert!(narrow_stalls > wide_stalls, "1 port must stall more ({narrow_stalls} vs {wide_stalls})");
+        assert!(
+            narrow_cycles > wide_cycles,
+            "1 port must be slower ({narrow_cycles} vs {wide_cycles})"
+        );
+    }
+
+    #[test]
+    fn trace_records_retired_instructions_in_order() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        cluster.load_program(Program::assemble("li a0, 1\nli a1, 2\nadd a2, a0, a1\nwfi").unwrap());
+        cluster.preload_icaches();
+        cluster.enable_trace(16);
+        cluster.run(1000).unwrap();
+        let trace = cluster.trace().expect("tracing enabled");
+        assert_eq!(trace.len(), 4);
+        let pcs: Vec<u32> = trace.entries().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![0, 4, 8, 12]);
+        let mut cycles: Vec<u64> = trace.entries().map(|e| e.cycle).collect();
+        let sorted = {
+            let mut s = cycles.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(cycles, sorted, "trace must be in issue order");
+        cycles.dedup();
+        assert_eq!(cycles.len(), 4, "single-issue core: one instruction per cycle");
+        let text = trace.to_string();
+        assert!(text.contains("add a2, a0, a1"));
+        // Disabling returns the buffer and stops recording.
+        let taken = cluster.disable_trace().unwrap();
+        assert_eq!(taken.len(), 4);
+        assert!(cluster.trace().is_none());
+    }
+
+    #[test]
+    fn resume_preserves_registers_and_memory() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        cluster.load_program(
+            Program::assemble(
+                r#"
+                    li   a0, 7
+                    wfi
+                phase2:
+                    addi a0, a0, 1
+                    li   t0, 0
+                    sw   a0, 0(t0)
+                    wfi
+                "#,
+            )
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        cluster.run(1000).unwrap();
+        let phase2 = 8; // pc of `phase2` (li expands to one instruction)
+        cluster.resume_all(phase2);
+        assert!(!cluster.all_halted());
+        cluster.run(1000).unwrap();
+        assert_eq!(cluster.read_spm_word(0).unwrap(), 8);
+    }
+}

@@ -1,0 +1,266 @@
+//! Backing storage for the SPM banks and the external (off-chip) memory.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mempool_arch::{AddressMap, BankLocation, ClusterConfig, MemoryRegion};
+use mempool_isa::exec::MemWidth;
+
+/// Error raised by a storage access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The address does not map to SPM or external memory.
+    Unmapped {
+        /// Faulting byte address.
+        addr: u32,
+    },
+    /// The access is not aligned to its width.
+    Misaligned {
+        /// Faulting byte address.
+        addr: u32,
+    },
+    /// A bank location is outside the configured geometry.
+    BadLocation,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::Unmapped { addr } => write!(f, "address {addr:#010x} is unmapped"),
+            MemoryError::Misaligned { addr } => {
+                write!(f, "misaligned access at {addr:#010x}")
+            }
+            MemoryError::BadLocation => f.write_str("bank location out of range"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Word-addressed storage for all SPM banks of the cluster, plus a sparse
+/// external memory.
+///
+/// Sub-word accesses are performed as read-modify-write on the containing
+/// word; this is safe because the owning bank serializes accesses.
+#[derive(Debug, Clone)]
+pub struct Storage {
+    /// Flat bank storage: `global_bank * bank_words + word`.
+    spm: Vec<u32>,
+    bank_words: u32,
+    banks_per_tile: u32,
+    map: AddressMap,
+    /// Sparse external memory, keyed by word offset.
+    external: HashMap<u64, u32>,
+}
+
+impl Storage {
+    /// Creates zeroed storage for the given configuration.
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        Storage {
+            spm: vec![0; (cfg.num_banks() * cfg.bank_words()) as usize],
+            bank_words: cfg.bank_words(),
+            banks_per_tile: cfg.banks_per_tile(),
+            map: AddressMap::new(cfg),
+            external: HashMap::new(),
+        }
+    }
+
+    /// The address map used to decode accesses.
+    pub fn map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    fn spm_index(&self, loc: BankLocation) -> Result<usize, MemoryError> {
+        if loc.word >= self.bank_words || loc.bank.0 >= self.banks_per_tile {
+            return Err(MemoryError::BadLocation);
+        }
+        let global_bank = loc.tile.0 as usize * self.banks_per_tile as usize + loc.bank.index();
+        let index = global_bank * self.bank_words as usize + loc.word as usize;
+        if index >= self.spm.len() {
+            return Err(MemoryError::BadLocation);
+        }
+        Ok(index)
+    }
+
+    /// Reads the word at a bank location.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the location is outside the bank geometry.
+    pub fn read_loc(&self, loc: BankLocation) -> Result<u32, MemoryError> {
+        Ok(self.spm[self.spm_index(loc)?])
+    }
+
+    /// Writes the word at a bank location.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the location is outside the bank geometry.
+    pub fn write_loc(&mut self, loc: BankLocation, value: u32) -> Result<(), MemoryError> {
+        let index = self.spm_index(loc)?;
+        self.spm[index] = value;
+        Ok(())
+    }
+
+    /// Decodes an address, checking alignment for the given width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmapped or misaligned addresses.
+    pub fn decode(&self, addr: u32, width: MemWidth) -> Result<MemoryRegion, MemoryError> {
+        if !addr.is_multiple_of(width.bytes()) {
+            return Err(MemoryError::Misaligned { addr });
+        }
+        match self.map.locate(addr & !3) {
+            MemoryRegion::Unmapped => Err(MemoryError::Unmapped { addr }),
+            region => Ok(region),
+        }
+    }
+
+    /// Reads a naturally aligned value of the given width at `addr`
+    /// (SPM or external).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmapped or misaligned addresses.
+    pub fn read(&self, addr: u32, width: MemWidth) -> Result<u32, MemoryError> {
+        let word = match self.decode(addr, width)? {
+            MemoryRegion::Spm(loc) => self.read_loc(loc)?,
+            MemoryRegion::External(offset) => self.read_external_word(offset & !3),
+            MemoryRegion::Unmapped => unreachable!(),
+        };
+        let shift = (addr & 3) * 8;
+        Ok(match width {
+            MemWidth::Byte => (word >> shift) & 0xff,
+            MemWidth::Half => (word >> shift) & 0xffff,
+            MemWidth::Word => word,
+        })
+    }
+
+    /// Writes a naturally aligned value of the given width at `addr`
+    /// (SPM or external).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmapped or misaligned addresses.
+    pub fn write(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), MemoryError> {
+        let region = self.decode(addr, width)?;
+        let old = match region {
+            MemoryRegion::Spm(loc) => self.read_loc(loc)?,
+            MemoryRegion::External(offset) => self.read_external_word(offset & !3),
+            MemoryRegion::Unmapped => unreachable!(),
+        };
+        let shift = (addr & 3) * 8;
+        let new = match width {
+            MemWidth::Byte => (old & !(0xff << shift)) | ((value & 0xff) << shift),
+            MemWidth::Half => (old & !(0xffff << shift)) | ((value & 0xffff) << shift),
+            MemWidth::Word => value,
+        };
+        match region {
+            MemoryRegion::Spm(loc) => self.write_loc(loc, new)?,
+            MemoryRegion::External(offset) => self.write_external_word(offset & !3, new),
+            MemoryRegion::Unmapped => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Reads a word from external memory by byte offset (must be aligned).
+    pub fn read_external_word(&self, offset: u64) -> u32 {
+        debug_assert_eq!(offset % 4, 0);
+        self.external.get(&(offset / 4)).copied().unwrap_or(0)
+    }
+
+    /// Writes a word to external memory by byte offset (must be aligned).
+    pub fn write_external_word(&mut self, offset: u64, value: u32) {
+        debug_assert_eq!(offset % 4, 0);
+        if value == 0 {
+            self.external.remove(&(offset / 4));
+        } else {
+            self.external.insert(offset / 4, value);
+        }
+    }
+
+    /// Number of words of external memory currently holding nonzero data.
+    pub fn external_footprint_words(&self) -> usize {
+        self.external.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool_arch::AddressMap;
+
+    fn storage() -> Storage {
+        Storage::new(&ClusterConfig::default())
+    }
+
+    #[test]
+    fn word_round_trip_in_interleaved_region() {
+        let mut s = storage();
+        let base = s.map().interleaved_base();
+        s.write(base, MemWidth::Word, 0xcafe_babe).unwrap();
+        assert_eq!(s.read(base, MemWidth::Word).unwrap(), 0xcafe_babe);
+        // The next word lives in a different bank but must be independent.
+        assert_eq!(s.read(base + 4, MemWidth::Word).unwrap(), 0);
+    }
+
+    #[test]
+    fn sub_word_accesses_merge_into_words() {
+        let mut s = storage();
+        s.write(0, MemWidth::Word, 0x1122_3344).unwrap();
+        s.write(1, MemWidth::Byte, 0xff).unwrap();
+        assert_eq!(s.read(0, MemWidth::Word).unwrap(), 0x1122_ff44);
+        s.write(2, MemWidth::Half, 0xaabb).unwrap();
+        assert_eq!(s.read(0, MemWidth::Word).unwrap(), 0xaabb_ff44);
+        assert_eq!(s.read(3, MemWidth::Byte).unwrap(), 0xaa);
+    }
+
+    #[test]
+    fn misaligned_accesses_rejected() {
+        let mut s = storage();
+        assert_eq!(
+            s.read(2, MemWidth::Word).unwrap_err(),
+            MemoryError::Misaligned { addr: 2 }
+        );
+        assert_eq!(
+            s.write(1, MemWidth::Half, 0).unwrap_err(),
+            MemoryError::Misaligned { addr: 1 }
+        );
+        // Byte accesses are never misaligned.
+        assert!(s.read(3, MemWidth::Byte).is_ok());
+    }
+
+    #[test]
+    fn unmapped_addresses_rejected() {
+        let s = storage();
+        let past_spm = s.map().spm_end() as u32;
+        assert_eq!(
+            s.read(past_spm, MemWidth::Word).unwrap_err(),
+            MemoryError::Unmapped { addr: past_spm }
+        );
+    }
+
+    #[test]
+    fn external_memory_is_sparse_and_unbounded() {
+        let mut s = storage();
+        let far = AddressMap::EXTERNAL_BASE + 0x0100_0000;
+        s.write(far, MemWidth::Word, 7).unwrap();
+        assert_eq!(s.read(far, MemWidth::Word).unwrap(), 7);
+        assert_eq!(s.external_footprint_words(), 1);
+        // Writing zero reclaims the slot.
+        s.write(far, MemWidth::Word, 0).unwrap();
+        assert_eq!(s.external_footprint_words(), 0);
+    }
+
+    #[test]
+    fn bank_locations_are_bounds_checked() {
+        let s = storage();
+        let bad = BankLocation {
+            tile: mempool_arch::TileId(0),
+            bank: mempool_arch::BankId(0),
+            word: 99_999,
+        };
+        assert_eq!(s.read_loc(bad).unwrap_err(), MemoryError::BadLocation);
+    }
+}

@@ -1,0 +1,90 @@
+//! Simulation timing parameters.
+
+use mempool_arch::LatencyModel;
+
+/// Timing parameters of the cluster simulator.
+///
+/// The defaults model the paper's setup: MemPool's 1/3/5-cycle interconnect,
+/// Snitch's scoreboard with a handful of outstanding loads, a one-cycle
+/// taken-branch bubble in the short in-order pipeline, and an off-chip port
+/// delivering 16 bytes per cycle (one DDR channel clocked at the core
+/// frequency) with idealized latency.
+///
+/// # Example
+///
+/// ```
+/// use mempool_sim::SimParams;
+///
+/// let fast_dram = SimParams {
+///     offchip_bytes_per_cycle: 64,
+///     ..SimParams::default()
+/// };
+/// assert_eq!(fast_dram.max_outstanding, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimParams {
+    /// Zero-load interconnect latencies.
+    pub latency: LatencyModel,
+    /// Maximum outstanding memory transactions per core (Snitch scoreboard
+    /// depth).
+    pub max_outstanding: u32,
+    /// Extra cycles lost on a taken branch or jump (fetch redirect bubble).
+    pub taken_branch_penalty: u32,
+    /// Cycles to refill one I$ line on a miss.
+    pub icache_miss_penalty: u32,
+    /// I$ line size in instruction words.
+    pub icache_line_words: u32,
+    /// I$ associativity (MemPool's lightweight shared I$ is direct-mapped).
+    pub icache_ways: u32,
+    /// Off-chip memory bandwidth in bytes per cycle (the paper sweeps 4 to
+    /// 64; 16 models a single DDR channel).
+    pub offchip_bytes_per_cycle: u32,
+    /// Idealized off-chip access latency in cycles, added once per DMA
+    /// transfer (the paper idealizes this to a constant).
+    pub offchip_latency: u32,
+}
+
+impl SimParams {
+    /// Returns parameters with a different off-chip bandwidth, keeping
+    /// everything else.
+    pub fn with_offchip_bandwidth(self, bytes_per_cycle: u32) -> Self {
+        SimParams {
+            offchip_bytes_per_cycle: bytes_per_cycle,
+            ..self
+        }
+    }
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            latency: LatencyModel::PAPER,
+            max_outstanding: 8,
+            taken_branch_penalty: 1,
+            icache_miss_penalty: 25,
+            icache_line_words: 8,
+            icache_ways: 1,
+            offchip_bytes_per_cycle: 16,
+            offchip_latency: 30,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let p = SimParams::default();
+        assert_eq!(p.latency, LatencyModel::PAPER);
+        assert_eq!(p.offchip_bytes_per_cycle, 16);
+    }
+
+    #[test]
+    fn bandwidth_override_keeps_other_fields() {
+        let p = SimParams::default().with_offchip_bandwidth(4);
+        assert_eq!(p.offchip_bytes_per_cycle, 4);
+        assert_eq!(p.icache_miss_penalty, SimParams::default().icache_miss_penalty);
+    }
+}

@@ -1,0 +1,194 @@
+//! Simulation statistics.
+
+use std::fmt;
+
+use mempool_arch::{AccessClass, GroupNetwork};
+
+/// Per-core execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Retired instructions.
+    pub retired: u64,
+    /// Cycles stalled on the register scoreboard (use of a pending load).
+    pub stall_scoreboard: u64,
+    /// Cycles stalled because the outstanding-transaction limit was hit.
+    pub stall_structural: u64,
+    /// Cycles stalled on instruction-cache misses.
+    pub stall_icache: u64,
+    /// Cycles lost to taken-branch bubbles.
+    pub stall_branch: u64,
+    /// Cycles after the core halted (idle at a barrier's end or `wfi`).
+    pub halted_cycles: u64,
+    /// Memory accesses by distance class, indexed by
+    /// `AccessClass as usize` (tile-local, group-local, remote).
+    pub accesses: [u64; 3],
+    /// Off-tile accesses by group network, indexed by
+    /// `GroupNetwork as usize` (local, north, northeast, east).
+    pub network_accesses: [u64; 4],
+}
+
+impl CoreStats {
+    /// Total stall cycles of all causes.
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_scoreboard + self.stall_structural + self.stall_icache + self.stall_branch
+    }
+
+    /// Records an access of the given class, traversing `network` if it
+    /// leaves the tile.
+    pub(crate) fn record_access(&mut self, class: AccessClass, network: Option<GroupNetwork>) {
+        self.accesses[class as usize] += 1;
+        if let Some(network) = network {
+            self.network_accesses[network as usize] += 1;
+        }
+    }
+}
+
+/// Per-bank statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Requests served.
+    pub served: u64,
+    /// Cycles in which more than one request contended for the bank
+    /// (conflict cycles).
+    pub conflicts: u64,
+    /// Deepest request queue observed at this bank.
+    pub max_queue_depth: u64,
+}
+
+/// Aggregated cluster statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Per-core statistics, indexed by global core id.
+    pub cores: Vec<CoreStats>,
+    /// Per-bank statistics, indexed by global bank id.
+    pub banks: Vec<BankStats>,
+    /// Bytes moved by DMA transfers.
+    pub dma_bytes: u64,
+    /// Cycles spent in DMA transfers.
+    pub dma_cycles: u64,
+}
+
+impl ClusterStats {
+    /// Total retired instructions across all cores.
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired).sum()
+    }
+
+    /// Instructions per cycle across the whole cluster.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_retired() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total bank-conflict cycles.
+    pub fn total_conflicts(&self) -> u64 {
+        self.banks.iter().map(|b| b.conflicts).sum()
+    }
+
+    /// Deepest bank queue seen anywhere in the run — how far behind the
+    /// most contended bank fell.
+    pub fn max_bank_queue_depth(&self) -> u64 {
+        self.banks.iter().map(|b| b.max_queue_depth).max().unwrap_or(0)
+    }
+
+    /// Total accesses by distance class (tile-local, group-local, remote).
+    pub fn accesses_by_class(&self) -> [u64; 3] {
+        let mut total = [0u64; 3];
+        for core in &self.cores {
+            for (slot, count) in total.iter_mut().zip(core.accesses) {
+                *slot += count;
+            }
+        }
+        total
+    }
+
+    /// Off-tile traffic per group network (local, north, northeast, east)
+    /// — the load on each of the four butterfly networks.
+    pub fn accesses_by_network(&self) -> [u64; 4] {
+        let mut total = [0u64; 4];
+        for core in &self.cores {
+            for (slot, count) in total.iter_mut().zip(core.network_accesses) {
+                *slot += count;
+            }
+        }
+        total
+    }
+}
+
+impl fmt::Display for ClusterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [local, group, remote] = self.accesses_by_class();
+        writeln!(f, "cycles            {:>12}", self.cycles)?;
+        writeln!(f, "retired           {:>12}", self.total_retired())?;
+        writeln!(f, "ipc               {:>12.3}", self.ipc())?;
+        writeln!(f, "bank conflicts    {:>12}", self.total_conflicts())?;
+        writeln!(f, "tile-local loads  {:>12}", local)?;
+        writeln!(f, "group-local loads {:>12}", group)?;
+        writeln!(f, "remote loads      {:>12}", remote)?;
+        writeln!(f, "dma bytes         {:>12}", self.dma_bytes)?;
+        write!(f, "dma cycles        {:>12}", self.dma_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let stats = ClusterStats::default();
+        assert_eq!(stats.ipc(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_sums_cores_and_banks() {
+        let mut stats = ClusterStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        stats.cores.push(CoreStats {
+            retired: 50,
+            accesses: [10, 5, 1],
+            ..Default::default()
+        });
+        stats.cores.push(CoreStats {
+            retired: 30,
+            accesses: [2, 0, 0],
+            ..Default::default()
+        });
+        stats.banks.push(BankStats {
+            served: 17,
+            conflicts: 3,
+            max_queue_depth: 5,
+        });
+        assert_eq!(stats.total_retired(), 80);
+        assert_eq!(stats.ipc(), 0.8);
+        assert_eq!(stats.total_conflicts(), 3);
+        assert_eq!(stats.max_bank_queue_depth(), 5);
+        assert_eq!(stats.accesses_by_class(), [12, 5, 1]);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_labelled() {
+        let text = ClusterStats::default().to_string();
+        assert!(text.contains("cycles"));
+        assert!(text.contains("ipc"));
+    }
+
+    #[test]
+    fn total_stalls_sums_causes() {
+        let core = CoreStats {
+            stall_scoreboard: 1,
+            stall_structural: 2,
+            stall_icache: 3,
+            stall_branch: 4,
+            ..Default::default()
+        };
+        assert_eq!(core.total_stalls(), 10);
+    }
+}

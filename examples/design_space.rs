@@ -1,0 +1,36 @@
+//! Design-space exploration: implement all eight MemPool configurations
+//! and print the paper's Table II plus the combined performance /
+//! efficiency / EDP figures — the whole evaluation in one run.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use mempool_3d::mempool::experiments::{Evaluation, Fig7, Fig8, Fig9, Table2};
+use mempool_3d::mempool::DesignPoint;
+
+fn main() {
+    let eval = Evaluation::new();
+
+    println!("{}", Table2::from_evaluation(&eval).to_text());
+    println!("{}", Fig7::from_evaluation(&eval).to_text());
+    println!("{}", Fig8::from_evaluation(&eval).to_text());
+    println!("{}", Fig9::from_evaluation(&eval).to_text());
+
+    // A little decision support on top of the paper: rank the design
+    // points by each criterion.
+    let mut by_perf: Vec<_> = DesignPoint::all()
+        .map(|p| (p, eval.performance(p, 16)))
+        .collect();
+    by_perf.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut by_eff: Vec<_> = DesignPoint::all()
+        .map(|p| (p, eval.efficiency(p, 16)))
+        .collect();
+    by_eff.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut by_edp: Vec<_> = DesignPoint::all().map(|p| (p, eval.edp(p, 16))).collect();
+    by_edp.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    println!("best performance:      {} ({:.3})", by_perf[0].0, by_perf[0].1);
+    println!("best energy efficiency: {} ({:.3})", by_eff[0].0, by_eff[0].1);
+    println!("best EDP:              {} ({:.3})", by_edp[0].0, by_edp[0].1);
+}

@@ -1,0 +1,58 @@
+//! Quickstart: simulate a few cycles of MemPool and implement one design
+//! point physically.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mempool_3d::mempool::DesignPoint;
+use mempool_3d::mempool_arch::{ClusterConfig, SpmCapacity};
+use mempool_3d::mempool_isa::Program;
+use mempool_3d::mempool_phys::Flow;
+use mempool_3d::mempool_sim::{Cluster, SimParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Run a program on a (scaled-down) MemPool cluster. ------------
+    // 16 Snitch-like cores over 4 tiles; every core writes its hart id
+    // into the shared SPM, then core 0's word is summed by everyone.
+    let config = ClusterConfig::builder()
+        .groups(1)
+        .tiles_per_group(4)
+        .cores_per_tile(4)
+        .banks_per_tile(16)
+        .bank_words(256)
+        .build()?;
+    let program = Program::assemble(
+        r#"
+            csrr a0, mhartid
+            slli a1, a0, 2
+            li   a2, 0x400        # result array base
+            add  a2, a2, a1
+            sw   a0, 0(a2)        # results[hartid] = hartid
+            wfi
+        "#,
+    )?;
+    let mut cluster = Cluster::new(config, SimParams::default());
+    cluster.load_program(program);
+    cluster.preload_icaches();
+    let cycles = cluster.run(100_000)?;
+    let sum: u32 = (0..16)
+        .map(|i| cluster.read_spm_word(0x400 + 4 * i).expect("in range"))
+        .sum();
+    println!("simulated {cycles} cycles; sum of hart ids = {sum} (expected 120)");
+
+    // --- 2. Physically implement a design point in 2D and 3D. ------------
+    for flow in [Flow::TwoD, Flow::ThreeD] {
+        let point = DesignPoint::new(flow, SpmCapacity::MiB4);
+        let group = point.implement_group();
+        println!(
+            "{}: footprint {:.2} mm², f = {:.0} MHz, power = {:.2} W, wire = {:.1} m",
+            point,
+            group.footprint_um2() / 1e6,
+            group.frequency_ghz() * 1000.0,
+            group.total_power_mw() / 1000.0,
+            group.wire_length_mm() / 1000.0,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # mempool-3d
+//!
+//! Workspace root of the MemPool-3D reproduction. This crate re-exports the
+//! member crates so that the runnable [examples](https://github.com/example/mempool-3d/tree/main/examples)
+//! and cross-crate integration tests can depend on a single package.
+//!
+//! The actual functionality lives in:
+//!
+//! * [`mempool_arch`] — architecture description (topology, banking,
+//!   address interleaving, latency classes);
+//! * [`mempool_isa`] — RV32IM + Xpulpimg instruction set;
+//! * [`mempool_sim`] — cycle-accurate cluster simulator;
+//! * [`mempool_phys`] — parametric 2D/3D physical-implementation model;
+//! * [`mempool_kernels`] — workload kernels and analytic phase models;
+//! * [`mempool`] — design-space exploration and the paper's experiments.
+
+#![forbid(unsafe_code)]
+
+pub use mempool;
+pub use mempool_arch;
+pub use mempool_isa;
+pub use mempool_kernels;
+pub use mempool_phys;
+pub use mempool_sim;

@@ -1,0 +1,117 @@
+//! Full-scale smoke tests: the exact 256-core, 1024-bank cluster the
+//! paper evaluates, running a real compute phase. Skipped under debug
+//! builds (the cycle-accurate model is ~30x slower unoptimized); run with
+//! `cargo test --release`.
+
+use mempool_3d::mempool_arch::{ClusterConfig, SpmCapacity};
+use mempool_3d::mempool_kernels::matmul::{Blocking, ComputePhase};
+use mempool_3d::mempool_kernels::Kernel;
+use mempool_3d::mempool_sim::{Cluster, SimParams};
+
+fn release_only() -> bool {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping full-scale test in debug build");
+        return false;
+    }
+    true
+}
+
+#[test]
+fn full_cluster_runs_a_256x256_compute_phase() {
+    if !release_only() {
+        return;
+    }
+    let cfg = ClusterConfig::with_capacity(SpmCapacity::MiB1);
+    assert_eq!(cfg.num_cores(), 256);
+    let mut cluster = Cluster::new(cfg, SimParams::default());
+    let phase = ComputePhase::new(256);
+    let cycles = phase
+        .run(&mut cluster, 2_000_000_000)
+        .expect("full-scale phase");
+    // 256^3 MACs over 256 cores. At full scale ~75 % of the interleaved
+    // accesses are *remote* (5 cycles), and the 1x2-blocked inner loop
+    // cannot fully hide that — the cost lands near 7 cycles/MAC instead
+    // of the ~3.3 of the tile-local-dominated small instances. (The
+    // paper's hand-optimized kernels use deeper register blocking to keep
+    // more loads in flight; Figure 6's *shape* is insensitive to this
+    // constant, which is why the recorded model value of 3.2 is anchored
+    // to the paper's near-peak utilization.)
+    let macs_per_core = phase.total_macs() / 256;
+    let cpm = cycles as f64 / macs_per_core as f64;
+    assert!(
+        (2.5..9.0).contains(&cpm),
+        "full-scale cycles/MAC {cpm:.2} out of range ({cycles} cycles)"
+    );
+    // The full cluster keeps all four access classes busy: the interleaved
+    // tiles span all 64 tiles and 4 groups.
+    let stats = cluster.stats();
+    let [local, group, remote] = stats.accesses_by_class();
+    assert!(local > 0 && group > 0 && remote > 0);
+    // Roughly 1/64 of interleaved accesses are tile-local, 15/64 group-
+    // local, 48/64 remote — check the ordering at least.
+    assert!(remote > group && group > local);
+    let nets = stats.accesses_by_network();
+    assert!(nets.iter().all(|&n| n > 0), "all four networks carry traffic: {nets:?}");
+}
+
+#[test]
+fn deep_blocking_hides_remote_latency_at_full_scale() {
+    if !release_only() {
+        return;
+    }
+    // The 1x4-blocked inner loop keeps five loads in flight — enough to
+    // cover the 5-cycle remote latency that throttles the 1x2 loop. It
+    // does not reach the 2.75-slot issue bound: with t = 256, the four
+    // B-column streams walk the banks with a 256-word stride, so each
+    // stream cycles through only 4 of the 1024 banks and the cores
+    // serialize there (real MemPool kernels stagger their column starts
+    // to break exactly this aliasing).
+    let run = |blocking: Blocking| {
+        let cfg = ClusterConfig::with_capacity(SpmCapacity::MiB1);
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        let phase = ComputePhase::new(256).with_blocking(blocking);
+        let cycles = phase
+            .run(&mut cluster, 2_000_000_000)
+            .expect("full-scale phase");
+        cycles as f64 / (phase.total_macs() / 256) as f64
+    };
+    let shallow = run(Blocking::OneByTwo);
+    let deep = run(Blocking::OneByFour);
+    assert!(
+        deep < 0.9 * shallow,
+        "1x4 blocking must hide latency the 1x2 loop exposes: {deep:.2} vs {shallow:.2} cycles/MAC"
+    );
+    assert!(
+        deep < 6.0,
+        "1x4 blocking at full scale should stay under 6 cycles/MAC ({deep:.2})"
+    );
+    // The staggered variant additionally breaks the B-column bank
+    // aliasing (measured: ~100x fewer conflict cycles) and reaches the
+    // issue-bound regime — landing on the very cycles/MAC constant the
+    // recorded Figure 6 model uses (3.2), now validated at full scale.
+    let staggered = run(Blocking::Staggered);
+    assert!(
+        (2.8..3.8).contains(&staggered),
+        "staggered blocking should hit ~3.2 cycles/MAC at full scale ({staggered:.2})"
+    );
+    assert!(staggered < deep);
+}
+
+#[test]
+fn full_cluster_ipc_is_high_despite_remote_latencies() {
+    if !release_only() {
+        return;
+    }
+    let cfg = ClusterConfig::with_capacity(SpmCapacity::MiB1);
+    let mut cluster = Cluster::new(cfg, SimParams::default());
+    let phase = ComputePhase::new(256);
+    phase.run(&mut cluster, 2_000_000_000).expect("phase");
+    let ipc = cluster.stats().ipc();
+    // MemPool's design goal: the scoreboard and banking keep hundreds of
+    // cores fed. Well over 25 % of peak (256 IPC) even with 5-cycle remote
+    // loads dominating.
+    assert!(
+        ipc > 64.0,
+        "full-cluster IPC {ipc:.1} too low — latency tolerance broken?"
+    );
+}

@@ -1,0 +1,171 @@
+//! Cross-validation: the timing simulator must be architecturally
+//! identical to the ISA golden model. Any program run single-core on both
+//! must end with the same registers and memory contents — timing changes
+//! nothing architectural.
+
+use mempool_3d::mempool_arch::ClusterConfig;
+use mempool_3d::mempool_isa::exec::Machine;
+use mempool_3d::mempool_isa::{Program, Reg};
+use mempool_3d::mempool_sim::{Cluster, SimParams};
+use mempool_arch::GlobalCoreId;
+
+fn single_core_cluster() -> Cluster {
+    let cfg = ClusterConfig::builder()
+        .groups(1)
+        .tiles_per_group(1)
+        .cores_per_tile(1)
+        .banks_per_tile(16)
+        .bank_words(256)
+        .build()
+        .expect("valid config");
+    Cluster::new(cfg, SimParams::default())
+}
+
+/// Runs `src` on both models and compares all registers plus the first
+/// `check_words` words of memory.
+fn cross_check(src: &str, check_words: u32) {
+    let program = Program::assemble(src).expect("assembles");
+
+    let mut machine = Machine::new(program.clone(), 16 * 1024);
+    machine.run(10_000_000).expect("golden model halts");
+
+    let mut cluster = single_core_cluster();
+    cluster.load_program(program);
+    cluster.preload_icaches();
+    cluster.run(10_000_000).expect("simulator halts");
+
+    for reg in Reg::all() {
+        assert_eq!(
+            cluster.reg(GlobalCoreId::new(0), reg),
+            machine.regs().read(reg),
+            "register {reg} differs\nprogram:\n{src}"
+        );
+    }
+    for word in 0..check_words {
+        let addr = word * 4;
+        assert_eq!(
+            cluster.read_spm_word(addr).expect("mapped"),
+            machine.read_word(addr).expect("mapped"),
+            "memory word {addr:#x} differs"
+        );
+    }
+}
+
+#[test]
+fn arithmetic_program_matches() {
+    cross_check(
+        r#"
+            li   a0, 123456
+            li   a1, -789
+            mul  a2, a0, a1
+            div  a3, a0, a1
+            rem  a4, a0, a1
+            mulh a5, a0, a1
+            sltu a6, a0, a1
+            xor  a7, a0, a1
+            wfi
+        "#,
+        0,
+    );
+}
+
+#[test]
+fn memory_program_matches() {
+    cross_check(
+        r#"
+            li   t0, 0
+            li   t1, 32
+            li   t2, 0xabcd1234
+        store_loop:
+            sw   t2, 0(t0)
+            addi t2, t2, 77
+            addi t0, t0, 4
+            addi t1, t1, -1
+            bnez t1, store_loop
+            # read some back with mixed widths
+            lb   a0, 5(zero)
+            lhu  a1, 10(zero)
+            lw   a2, 16(zero)
+            sh   a1, 100(zero)
+            sb   a0, 104(zero)
+            wfi
+        "#,
+        32,
+    );
+}
+
+#[test]
+fn xpulpimg_program_matches() {
+    cross_check(
+        r#"
+            li   t0, 0
+            li   t1, 16
+            li   t2, 3
+        fill:
+            p.sw t2, 4(t0!)
+            addi t2, t2, 5
+            addi t1, t1, -1
+            bnez t1, fill
+            li   t0, 0
+            li   t1, 16
+            li   a0, 0
+        acc:
+            p.lw a1, 4(t0!)
+            p.mac a0, a1, a1
+            addi t1, t1, -1
+            bnez t1, acc
+            wfi
+        "#,
+        16,
+    );
+}
+
+#[test]
+fn amo_program_matches() {
+    cross_check(
+        r#"
+            li   t0, 64
+            li   t1, 100
+            sw   t1, 0(t0)
+            li   t2, 23
+            amoadd.w a0, t2, (t0)
+            amoswap.w a1, t2, (t0)
+            amoand.w a2, t2, (t0)
+            amoor.w  a3, t2, (t0)
+            amoxor.w a4, t2, (t0)
+            amomax.w a5, t2, (t0)
+            amomin.w a6, t2, (t0)
+            wfi
+        "#,
+        32,
+    );
+}
+
+#[test]
+fn control_flow_program_matches() {
+    cross_check(
+        r#"
+            li   s0, 0
+            li   s1, 0
+            li   s2, 20
+        outer:
+            li   s3, 0
+        inner:
+            add  s1, s1, s3
+            addi s3, s3, 1
+            blt  s3, s2, inner
+            jal  ra, bump
+            addi s0, s0, 1
+            li   s4, 3
+            blt  s0, s4, outer
+            j    end
+        bump:
+            addi s1, s1, 1000
+            ret
+        end:
+            sw   s1, 200(zero)
+            wfi
+        "#,
+        64,
+    );
+}

@@ -1,0 +1,244 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use mempool_3d::mempool_arch::{AddressMap, ClusterConfig, MemoryRegion, SpmCapacity};
+use mempool_3d::mempool_isa::instr::{AluOp, AmoOp, BranchOp, LoadOp, MulOp, StoreOp, XpulpOp};
+use mempool_3d::mempool_isa::{decode, Instr, Program, Reg};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    let r = reg_strategy;
+    prop_oneof![
+        (r(), any::<u32>()).prop_map(|(rd, imm)| Instr::Lui {
+            rd,
+            imm: imm & 0xffff_f000
+        }),
+        (r(), any::<u32>()).prop_map(|(rd, imm)| Instr::Auipc {
+            rd,
+            imm: imm & 0xffff_f000
+        }),
+        (r(), -(1i32 << 20)..(1i32 << 20)).prop_map(|(rd, o)| Instr::Jal {
+            rd,
+            offset: o & !1
+        }),
+        (r(), r(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchOp::Beq),
+                Just(BranchOp::Bne),
+                Just(BranchOp::Blt),
+                Just(BranchOp::Bge),
+                Just(BranchOp::Bltu),
+                Just(BranchOp::Bgeu)
+            ],
+            r(),
+            r(),
+            -4096i32..4096
+        )
+            .prop_map(|(op, rs1, rs2, o)| Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: o & !1
+            }),
+        (
+            prop_oneof![
+                Just(LoadOp::Lb),
+                Just(LoadOp::Lh),
+                Just(LoadOp::Lw),
+                Just(LoadOp::Lbu),
+                Just(LoadOp::Lhu)
+            ],
+            r(),
+            r(),
+            -2048i32..2048
+        )
+            .prop_map(|(op, rd, rs1, offset)| Instr::Load { op, rd, rs1, offset }),
+        (
+            prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
+            r(),
+            r(),
+            -2048i32..2048
+        )
+            .prop_map(|(op, rs2, rs1, offset)| Instr::Store { op, rs2, rs1, offset }),
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Or),
+                Just(AluOp::And)
+            ],
+            r(),
+            r(),
+            -2048i32..2048
+        )
+            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)],
+            r(),
+            r(),
+            0i32..32
+        )
+            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::Sll),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Srl),
+                Just(AluOp::Sra),
+                Just(AluOp::Or),
+                Just(AluOp::And)
+            ],
+            r(),
+            r(),
+            r()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(MulOp::Mul),
+                Just(MulOp::Mulh),
+                Just(MulOp::Mulhsu),
+                Just(MulOp::Mulhu),
+                Just(MulOp::Div),
+                Just(MulOp::Divu),
+                Just(MulOp::Rem),
+                Just(MulOp::Remu)
+            ],
+            r(),
+            r(),
+            r()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Mul { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(AmoOp::Add),
+                Just(AmoOp::Swap),
+                Just(AmoOp::And),
+                Just(AmoOp::Or),
+                Just(AmoOp::Xor),
+                Just(AmoOp::Max),
+                Just(AmoOp::Min)
+            ],
+            r(),
+            r(),
+            r()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Amo { op, rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Mac { rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(XpulpOp::Min),
+                Just(XpulpOp::Max),
+                Just(XpulpOp::MinU),
+                Just(XpulpOp::MaxU),
+                Just(XpulpOp::Clip)
+            ],
+            r(),
+            r(),
+            r()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Xpulp { op, rd, rs1, rs2 }),
+        (r(), r()).prop_map(|(rd, rs1)| Instr::Xpulp {
+            op: XpulpOp::Abs,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+        }),
+        (r(), r(), -2048i32..2048)
+            .prop_map(|(rd, rs1, offset)| Instr::LwPostInc { rd, rs1, offset }),
+        (r(), r(), -2048i32..2048)
+            .prop_map(|(rs2, rs1, offset)| Instr::SwPostInc { rs2, rs1, offset }),
+        Just(Instr::Wfi),
+        Just(Instr::Fence),
+    ]
+}
+
+proptest! {
+    /// Binary round trip: decode(encode(i)) == i for every instruction.
+    #[test]
+    fn encode_decode_round_trip(instr in instr_strategy()) {
+        let word = instr.encode();
+        let back = decode(word).expect("decodes");
+        prop_assert_eq!(back, instr);
+    }
+
+    /// Textual round trip: the disassembly re-assembles to the same
+    /// instruction (CSR reads excluded — they print the raw address).
+    #[test]
+    fn display_assemble_round_trip(instr in instr_strategy()) {
+        let text = instr.to_string();
+        let parsed: Instr = text.parse().unwrap_or_else(|e| {
+            panic!("`{text}` did not re-assemble: {e}")
+        });
+        prop_assert_eq!(parsed, instr);
+    }
+
+    /// Address interleaving is a bijection between word addresses and bank
+    /// locations.
+    #[test]
+    fn address_map_round_trip(word_index in 0u64..262_144) {
+        let cfg = ClusterConfig::with_capacity(SpmCapacity::MiB1);
+        let map = AddressMap::new(&cfg);
+        let addr = (word_index * 4) as u32;
+        if (addr as u64) < map.spm_end() {
+            match map.locate(addr) {
+                MemoryRegion::Spm(loc) => {
+                    prop_assert_eq!(map.encode(loc).expect("in range"), addr);
+                }
+                other => prop_assert!(false, "SPM address decoded as {:?}", other),
+            }
+        }
+    }
+
+    /// Consecutive interleaved words never collide on a bank (for any
+    /// stride not a multiple of the bank count).
+    #[test]
+    fn interleaving_spreads_small_strides(start in 0u64..10_000, stride in 1u64..63) {
+        let cfg = ClusterConfig::with_capacity(SpmCapacity::MiB1);
+        let map = AddressMap::new(&cfg);
+        let banks = cfg.num_banks() as u64;
+        prop_assume!(stride % banks != 0);
+        let a = map.locate(map.interleaved_addr(start));
+        let b = map.locate(map.interleaved_addr(start + stride));
+        let (MemoryRegion::Spm(la), MemoryRegion::Spm(lb)) = (a, b) else {
+            return Err(TestCaseError::fail("not SPM"));
+        };
+        prop_assert_ne!(la.global_bank(&cfg), lb.global_bank(&cfg));
+    }
+
+    /// The decoder never panics on arbitrary words, and whatever it
+    /// accepts is stable: re-encoding and re-decoding yields the same
+    /// instruction (don't-care bits are canonicalized, never semantic).
+    #[test]
+    fn decode_is_total_and_idempotent(word in any::<u32>()) {
+        if let Ok(instr) = decode(word) {
+            let canonical = instr.encode();
+            prop_assert_eq!(decode(canonical).expect("canonical decodes"), instr);
+        }
+    }
+
+    /// Any program assembled from random arithmetic lines re-assembles
+    /// from its own Display output with identical instructions.
+    #[test]
+    fn program_display_round_trip(seed in 0u32..1000) {
+        let src = format!(
+            "li a0, {}\nli a1, {}\nadd a2, a0, a1\nmul a3, a2, a0\nwfi",
+            seed, seed.wrapping_mul(37)
+        );
+        let program = Program::assemble(&src).expect("assembles");
+        let listing = program.to_string();
+        let again = Program::assemble(&listing).expect("listing re-assembles");
+        prop_assert_eq!(again.instrs(), program.instrs());
+    }
+}
