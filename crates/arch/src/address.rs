@@ -64,7 +64,11 @@ pub struct DecodeAddressError {
 
 impl fmt::Display for DecodeAddressError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "address {:#010x} is not a mapped, word-aligned location", self.addr)
+        write!(
+            f,
+            "address {:#010x} is not a mapped, word-aligned location",
+            self.addr
+        )
     }
 }
 

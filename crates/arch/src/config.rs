@@ -70,7 +70,8 @@ impl ClusterConfig {
     /// banks, 1 MiB yields 1 KiB (256 words) per bank and 8 MiB yields
     /// 8 KiB (2048 words) per bank.
     pub fn with_capacity(capacity: SpmCapacity) -> Self {
-        let banks = (Self::DEFAULT_GROUPS * Self::DEFAULT_TILES_PER_GROUP
+        let banks = (Self::DEFAULT_GROUPS
+            * Self::DEFAULT_TILES_PER_GROUP
             * Self::DEFAULT_BANKS_PER_TILE) as u64;
         let bank_words = (capacity.bytes() / banks / 4) as u32;
         ClusterConfig {
@@ -234,7 +235,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "tiles per group must be a perfect square, got {n}")
             }
             ConfigError::NotPowerOfTwo { name, value } => {
-                write!(f, "cluster parameter `{name}` must be a power of two, got {value}")
+                write!(
+                    f,
+                    "cluster parameter `{name}` must be a power of two, got {value}"
+                )
             }
         }
     }

@@ -58,10 +58,7 @@ impl MemoryMap {
             start: map.interleaved_base() as u64,
             end: map.spm_end(),
             name: "interleaved SPM".to_owned(),
-            backing: format!(
-                "word-interleaved over all {} banks",
-                cfg.num_banks()
-            ),
+            backing: format!("word-interleaved over all {} banks", cfg.num_banks()),
         });
         entries.push(MapEntry {
             start: AddressMap::EXTERNAL_BASE as u64,
@@ -89,7 +86,11 @@ impl MemoryMap {
 
 impl fmt::Display for MemoryMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<24} {:>12} {:>12}  backing", "region", "start", "size")?;
+        writeln!(
+            f,
+            "{:<24} {:>12} {:>12}  backing",
+            "region", "start", "size"
+        )?;
         for e in &self.entries {
             writeln!(
                 f,

@@ -29,7 +29,9 @@ fn bench_kernels(c: &mut Criterion) {
 
     // Measure once to set throughput in simulated cycles.
     let mut probe = cluster();
-    let axpy_cycles = Axpy::new(1024, 5).run(&mut probe, 10_000_000).expect("axpy");
+    let axpy_cycles = Axpy::new(1024, 5)
+        .run(&mut probe, 10_000_000)
+        .expect("axpy");
     group.throughput(Throughput::Elements(axpy_cycles));
     group.bench_function("axpy_1024", |b| {
         b.iter(|| {

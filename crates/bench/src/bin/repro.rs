@@ -4,50 +4,144 @@
 //! cargo run --release -p mempool-bench --bin repro -- all
 //! cargo run --release -p mempool-bench --bin repro -- table1 fig6
 //! cargo run --release -p mempool-bench --bin repro -- fig6 --measure
+//! cargo run --release -p mempool-bench --bin repro -- fig6 --measure --artifacts out/
 //! ```
 //!
 //! With `--measure`, the workload constants (cycles/MAC, phase overhead)
 //! are re-measured on the cycle-accurate simulator instead of using the
 //! recorded defaults.
+//!
+//! With `--artifacts DIR`, machine-readable outputs are written next to
+//! the text tables: one JSON document per produced figure/table
+//! (`fig6.json`, `table2.json`, ...), a `metrics.json`/`metrics.csv`
+//! snapshot, a Perfetto-loadable `trace.json` of the measurement phase
+//! spans, and a `BENCH_repro.json` summary (cycle counts, cycles/MAC,
+//! wall-clock).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use mempool::dse::DesignSpace;
-use mempool::experiments::{ablations, Claims, ClusterLevel, Evaluation, Fig6, Fig7, Fig8, Fig9, Table1, Table2};
+use mempool::experiments::{
+    ablations, Claims, ClusterLevel, Evaluation, Fig6, Fig7, Fig8, Fig9, Table1, Table2,
+};
 use mempool_arch::SpmCapacity;
 use mempool_kernels::matmul::PhaseModel;
 use mempool_kernels::measure;
-use mempool_phys::{viz, AreaReport, Flow, GroupImplementation, TileImplementation};
+use mempool_obs::{chrome_trace, ArtifactDir, Json, Obs};
+
+const KNOWN_TARGETS: [&str; 13] = [
+    "all",
+    "table1",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablations",
+    "area",
+    "claims",
+    "cluster",
+    "dse",
+    "layout",
+];
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--measure] [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]..."
+        "usage: repro [--measure] [--artifacts DIR] \
+         [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]...\n\
+         \n\
+         --measure        re-measure workload constants on the simulator\n\
+         --artifacts DIR  write JSON/CSV artifacts (figure data, metrics,\n\
+                          Perfetto trace, BENCH_repro.json summary) to DIR"
     );
     ExitCode::FAILURE
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let measure_flag = args.iter().any(|a| a == "--measure");
-    let mut targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    if targets.is_empty() {
-        targets.push("all");
-    }
-    let known = [
-        "all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "ablations", "area", "claims", "cluster", "dse", "layout",
-    ];
-    if targets.iter().any(|t| !known.contains(t)) {
-        return usage();
-    }
-    let want = |name: &str| targets.contains(&"all") || targets.contains(&name);
+/// Parsed command line: the targets to produce and the two options.
+struct Options {
+    targets: Vec<String>,
+    measure: bool,
+    artifacts: Option<String>,
+}
 
-    let model = if measure_flag {
+/// Strict parser: every `--flag` must be recognized and every positional
+/// argument must be a known target — a typo aborts with the usage message
+/// instead of being silently ignored.
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut targets = Vec::new();
+    let mut measure = false;
+    let mut artifacts = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--measure" => measure = true,
+            "--artifacts" => match it.next() {
+                // A following `--flag` is a missing argument, not a
+                // directory name — otherwise `--artifacts --measure`
+                // silently drops the measure flag.
+                Some(dir) if !dir.starts_with("--") => artifacts = Some(dir.clone()),
+                _ => return Err("--artifacts requires a directory argument".to_string()),
+            },
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag: {flag}"));
+            }
+            target => {
+                if !KNOWN_TARGETS.contains(&target) {
+                    return Err(format!("unknown target: {target}"));
+                }
+                targets.push(target.to_string());
+            }
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Ok(Options {
+        targets,
+        measure,
+        artifacts,
+    })
+}
+
+fn model_json(model: &PhaseModel) -> Json {
+    Json::obj([
+        ("m", Json::Int(model.m as i64)),
+        ("num_cores", Json::Int(model.num_cores as i64)),
+        ("cycles_per_mac", Json::Float(model.cycles_per_mac)),
+        ("phase_overhead", Json::Float(model.phase_overhead)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let wall_start = Instant::now();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            return usage();
+        }
+    };
+    let want = |name: &str| {
+        opts.targets.iter().any(|t| t == "all") || opts.targets.iter().any(|t| t == name)
+    };
+
+    let mut artifacts = match &opts.artifacts {
+        Some(dir) => match ArtifactDir::create(dir) {
+            Ok(art) => Some(art),
+            Err(e) => {
+                eprintln!("repro: cannot create artifact directory {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let obs = Obs::new();
+
+    let model = if opts.measure {
         eprintln!("measuring workload constants on the simulator ...");
-        match measure::measure_constants() {
+        match measure::measure_constants_observed(Some(&obs)) {
             Ok(constants) => {
                 let model = constants.phase_model(SpmCapacity::MATMUL_MATRIX_DIM, 256);
                 eprintln!(
@@ -73,22 +167,46 @@ fn main() -> ExitCode {
         || want("dse");
     let eval = needs_eval.then(|| Evaluation::with_model(model));
 
+    // Each produced figure/table prints its text form and, with
+    // `--artifacts`, lands as a JSON document of the same numbers.
+    let mut emit = |name: &str, text: String, json: Option<Json>| -> bool {
+        println!("{text}");
+        if let (Some(art), Some(json)) = (artifacts.as_mut(), json) {
+            let file = format!("{name}.json");
+            if let Err(e) = art.write_json(&file, &json) {
+                eprintln!("repro: writing {file}: {e}");
+                return false;
+            }
+        }
+        true
+    };
+
     if want("table1") {
-        println!("{}", Table1::generate().to_text());
+        let t = Table1::generate();
+        if !emit("table1", t.to_text(), Some(t.to_json())) {
+            return ExitCode::FAILURE;
+        }
     }
     if want("table2") {
-        println!("{}", Table2::from_evaluation(eval.as_ref().unwrap()).to_text());
+        let t = Table2::from_evaluation(eval.as_ref().unwrap());
+        if !emit("table2", t.to_text(), Some(t.to_json())) {
+            return ExitCode::FAILURE;
+        }
     }
     if want("fig6") {
-        println!("{}", Fig6::with_model(model).to_text());
+        let f = Fig6::with_model(model);
+        if !emit("fig6", f.to_text(), Some(f.to_json())) {
+            return ExitCode::FAILURE;
+        }
     }
-    if want("ablations") {
-        println!("{}", ablations::full_report());
+    if want("ablations") && !emit("ablations", ablations::full_report(), None) {
+        return ExitCode::FAILURE;
     }
-    if want("cluster") {
-        println!("{}", ClusterLevel::generate().to_text());
+    if want("cluster") && !emit("cluster", ClusterLevel::generate().to_text(), None) {
+        return ExitCode::FAILURE;
     }
     if want("layout") {
+        use mempool_phys::{viz, Flow, GroupImplementation, TileImplementation};
         // Figure 3: memory-die floorplans.
         for cap in [SpmCapacity::MiB1, SpmCapacity::MiB4, SpmCapacity::MiB8] {
             let tile = TileImplementation::implement(cap, Flow::ThreeD);
@@ -104,22 +222,32 @@ fn main() -> ExitCode {
     }
     if let Some(eval) = &eval {
         if want("fig7") {
-            println!("{}", Fig7::from_evaluation(eval).to_text());
+            let f = Fig7::from_evaluation(eval);
+            if !emit("fig7", f.to_text(), Some(f.to_json())) {
+                return ExitCode::FAILURE;
+            }
         }
         if want("fig8") {
-            println!("{}", Fig8::from_evaluation(eval).to_text());
+            let f = Fig8::from_evaluation(eval);
+            if !emit("fig8", f.to_text(), Some(f.to_json())) {
+                return ExitCode::FAILURE;
+            }
         }
         if want("fig9") {
-            println!("{}", Fig9::from_evaluation(eval).to_text());
+            let f = Fig9::from_evaluation(eval);
+            if !emit("fig9", f.to_text(), Some(f.to_json())) {
+                return ExitCode::FAILURE;
+            }
         }
-        if want("claims") {
-            println!("{}", Claims::from_evaluation(eval).to_text());
+        if want("claims") && !emit("claims", Claims::from_evaluation(eval).to_text(), None) {
+            return ExitCode::FAILURE;
         }
-        if want("dse") {
-            println!("{}", DesignSpace::explore(eval).to_text());
+        if want("dse") && !emit("dse", DesignSpace::explore(eval).to_text(), None) {
+            return ExitCode::FAILURE;
         }
     }
     if want("area") {
+        use mempool_phys::{AreaReport, Flow, GroupImplementation};
         for flow in Flow::ALL {
             for cap in SpmCapacity::ALL {
                 let group = GroupImplementation::implement(cap, flow);
@@ -127,5 +255,67 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if let Some(art) = artifacts.as_mut() {
+        if let Err(e) = write_summary_artifacts(art, &obs, &model, &opts, wall_start) {
+            eprintln!("repro: writing artifacts: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "artifacts written to {}: {}",
+            art.root().display(),
+            art.written().join(", ")
+        );
+    }
     ExitCode::SUCCESS
+}
+
+/// Writes the run-wide artifacts: the metrics snapshot (JSON + CSV), the
+/// Perfetto trace of all recorded spans, and the `BENCH_repro.json`
+/// summary tying cycle counts, cycles/MAC, and wall-clock together.
+fn write_summary_artifacts(
+    art: &mut ArtifactDir,
+    obs: &Obs,
+    model: &PhaseModel,
+    opts: &Options,
+    wall_start: Instant,
+) -> std::io::Result<()> {
+    let snapshot = obs.metrics.snapshot();
+    art.write_json("metrics.json", &snapshot.to_json())?;
+    art.write_text("metrics.csv", &snapshot.to_csv())?;
+    art.write_json("trace.json", &chrome_trace(&obs.spans))?;
+
+    // Cycle counts of the modeled matmul at the Section VI-B bandwidth,
+    // one per SPM capacity.
+    let cycles = SpmCapacity::ALL
+        .iter()
+        .map(|&cap| {
+            Json::obj([
+                ("capacity", Json::str(cap.to_string())),
+                ("total_cycles", Json::Float(model.total_cycles(cap, 16))),
+            ])
+        })
+        .collect();
+    let summary = Json::obj([
+        ("bench", Json::str("repro")),
+        (
+            "targets",
+            Json::Arr(opts.targets.iter().map(Json::str).collect()),
+        ),
+        ("measured", Json::Bool(opts.measure)),
+        ("model", model_json(model)),
+        ("cycles_per_mac", Json::Float(model.cycles_per_mac)),
+        ("matmul_cycles_at_16B_per_cycle", Json::Arr(cycles)),
+        ("span_count", Json::Int(obs.spans.len() as i64)),
+        (
+            "wall_clock_seconds",
+            Json::Float(wall_start.elapsed().as_secs_f64()),
+        ),
+        (
+            "artifacts",
+            Json::Arr(art.written().iter().map(Json::str).collect()),
+        ),
+    ]);
+    art.write_json("BENCH_repro.json", &summary)?;
+    Ok(())
 }

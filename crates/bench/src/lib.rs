@@ -38,12 +38,7 @@ mod tests {
     fn full_report_contains_every_experiment() {
         let report = super::full_report();
         for needle in [
-            "Table I",
-            "Table II",
-            "Figure 6",
-            "Figure 7",
-            "Figure 8",
-            "Figure 9",
+            "Table I", "Table II", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
         ] {
             assert!(report.contains(needle), "missing {needle}");
         }

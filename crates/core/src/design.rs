@@ -9,9 +9,7 @@ use mempool_phys::{Flow, GroupImplementation, TileImplementation};
 
 /// One of the eight MemPool configurations the paper implements:
 /// a flow (2D or 3D) paired with an SPM capacity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DesignPoint {
     /// Implementation flow.
     pub flow: Flow,

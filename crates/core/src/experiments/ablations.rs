@@ -144,8 +144,7 @@ impl F2fPitchSweep {
                 let group = implement(capacity, Flow::ThreeD, tech.clone());
                 let bumps = group.f2f_bumps().unwrap_or(0);
                 let per_tile = bumps as f64 / 16.0;
-                let pad_area_fraction =
-                    per_tile * pitch_um * pitch_um / tile.footprint_um2();
+                let pad_area_fraction = per_tile * pitch_um * pitch_um / tile.footprint_um2();
                 F2fPitchPoint {
                     pitch_um,
                     bumps,
@@ -365,8 +364,10 @@ impl IcacheSweep {
                 format!("{}", p.miss_stalls),
             ]);
         }
-        format!("Ablation: instruction-cache state (matmul compute phase, 16 cores)
-{t}")
+        format!(
+            "Ablation: instruction-cache state (matmul compute phase, 16 cores)
+{t}"
+        )
     }
 }
 
@@ -453,7 +454,11 @@ mod tests {
     #[test]
     fn small_capacities_prefer_no_spill() {
         let sweep = PartitionSweep::run(SpmCapacity::MiB1);
-        assert_eq!(sweep.chosen(), 0, "1 MiB keeps everything on the memory die");
+        assert_eq!(
+            sweep.chosen(),
+            0,
+            "1 MiB keeps everything on the memory die"
+        );
     }
 
     #[test]

@@ -62,8 +62,12 @@ impl Claims {
             })
             .fold(f64::MIN, f64::max);
         let fp8_saving = 1.0
-            - eval.group(point(Flow::ThreeD, SpmCapacity::MiB8)).footprint_um2
-                / eval.group(point(Flow::TwoD, SpmCapacity::MiB8)).footprint_um2;
+            - eval
+                .group(point(Flow::ThreeD, SpmCapacity::MiB8))
+                .footprint_um2
+                / eval
+                    .group(point(Flow::TwoD, SpmCapacity::MiB8))
+                    .footprint_um2;
 
         let claims = vec![
             Claim {

@@ -7,6 +7,7 @@
 
 use mempool_arch::SpmCapacity;
 use mempool_kernels::matmul::PhaseModel;
+use mempool_obs::Json;
 
 use crate::paper;
 use crate::table::TextTable;
@@ -114,6 +115,61 @@ impl Fig6 {
         }
         out
     }
+
+    /// Serializes the figure: the workload model, every data point, and
+    /// the paper's headline comparisons — numerically identical to what
+    /// [`Self::to_text`] prints.
+    pub fn to_json(&self) -> Json {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("capacity", Json::str(p.capacity.to_string())),
+                    ("capacity_bytes", Json::Int(p.capacity.bytes() as i64)),
+                    ("bytes_per_cycle", Json::Int(p.bytes_per_cycle as i64)),
+                    ("speedup_vs_reference", Json::Float(p.speedup_vs_reference)),
+                    (
+                        "speedup_vs_half",
+                        p.speedup_vs_half.map_or(Json::Null, Json::Float),
+                    ),
+                ])
+            })
+            .collect();
+        let headlines = [4u32, 16, 64]
+            .iter()
+            .filter_map(|&bw| {
+                let expected = paper::fig6_speedup_8mib_over_1mib(bw)?;
+                let measured = self
+                    .model
+                    .speedup(SpmCapacity::MiB8, bw, SpmCapacity::MiB1, bw);
+                Some(Json::obj([
+                    ("bytes_per_cycle", Json::Int(bw as i64)),
+                    ("speedup_8mib_over_1mib", Json::Float(measured)),
+                    ("paper", Json::Float(expected)),
+                ]))
+            })
+            .collect();
+        Json::obj([
+            ("figure", Json::str("fig6")),
+            (
+                "title",
+                Json::str("matmul cycle-count speedup vs off-chip bandwidth"),
+            ),
+            ("reference", Json::str("1 MiB at 4 B/cycle")),
+            (
+                "model",
+                Json::obj([
+                    ("m", Json::Int(self.model.m as i64)),
+                    ("num_cores", Json::Int(self.model.num_cores as i64)),
+                    ("cycles_per_mac", Json::Float(self.model.cycles_per_mac)),
+                    ("phase_overhead", Json::Float(self.model.phase_overhead)),
+                ]),
+            ),
+            ("points", Json::Arr(points)),
+            ("headlines", Json::Arr(headlines)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +234,33 @@ mod tests {
         let text = Fig6::generate().to_text();
         assert!(text.contains("paper: 43 %"));
         assert!(text.contains("16 B/cycle"));
+    }
+
+    #[test]
+    fn json_matches_the_computed_points_exactly() {
+        let fig = Fig6::generate();
+        let json = fig.to_json();
+        let points = json.get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), fig.points().len());
+        for (j, p) in points.iter().zip(fig.points()) {
+            assert_eq!(
+                j.get("bytes_per_cycle").and_then(Json::as_int).unwrap(),
+                p.bytes_per_cycle as i64
+            );
+            assert_eq!(
+                j.get("speedup_vs_reference")
+                    .and_then(Json::as_f64)
+                    .unwrap(),
+                p.speedup_vs_reference
+            );
+            match p.speedup_vs_half {
+                Some(s) => {
+                    assert_eq!(j.get("speedup_vs_half").and_then(Json::as_f64).unwrap(), s)
+                }
+                None => assert_eq!(j.get("speedup_vs_half"), Some(&Json::Null)),
+            }
+        }
+        // The document survives a serialize -> parse round trip.
+        assert_eq!(Json::parse(&json.to_pretty()).unwrap(), json);
     }
 }

@@ -1,6 +1,7 @@
 //! Figure 7: matmul performance versus SPM capacity (16 B/cycle).
 
 use mempool_arch::SpmCapacity;
+use mempool_obs::Json;
 use mempool_phys::Flow;
 
 use crate::design::DesignPoint;
@@ -84,10 +85,44 @@ impl Fig7 {
         out.push_str(&t.to_string());
         out.push_str(&format!(
             "3D vs 2D at 4 MiB: {:+.1} % (paper: {:+.1} %)\n",
-            (self.bar(Flow::ThreeD, SpmCapacity::MiB4).gain_over_2d.unwrap() - 1.0) * 100.0,
+            (self
+                .bar(Flow::ThreeD, SpmCapacity::MiB4)
+                .gain_over_2d
+                .unwrap()
+                - 1.0)
+                * 100.0,
             (paper::FIG7_3D_VS_2D_4MIB - 1.0) * 100.0
         ));
         out
+    }
+
+    /// Serializes the figure — the same bars [`Self::to_text`] prints.
+    pub fn to_json(&self) -> Json {
+        let bars = self
+            .bars
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("design", Json::str(b.point.name())),
+                    ("performance", Json::Float(b.performance)),
+                    (
+                        "gain_over_2d",
+                        b.gain_over_2d.map_or(Json::Null, Json::Float),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("figure", Json::str("fig7")),
+            ("title", Json::str("matmul performance vs SPM capacity")),
+            ("bytes_per_cycle", Json::Int(SECTION_VI_B_BANDWIDTH as i64)),
+            ("reference", Json::str("MemPool-2D_1MiB")),
+            ("bars", Json::Arr(bars)),
+            (
+                "paper_3d_vs_2d_4mib",
+                Json::Float(paper::FIG7_3D_VS_2D_4MIB),
+            ),
+        ])
     }
 }
 
@@ -110,7 +145,10 @@ mod tests {
 
     #[test]
     fn four_mib_gain_matches_paper_headline() {
-        let gain = fig().bar(Flow::ThreeD, SpmCapacity::MiB4).gain_over_2d.unwrap();
+        let gain = fig()
+            .bar(Flow::ThreeD, SpmCapacity::MiB4)
+            .gain_over_2d
+            .unwrap();
         assert!(
             (gain - paper::FIG7_3D_VS_2D_4MIB).abs() < 0.035,
             "4 MiB gain {gain:.3} vs paper {:.3}",

@@ -1,6 +1,7 @@
 //! Figure 8: energy efficiency versus SPM capacity (16 B/cycle).
 
 use mempool_arch::SpmCapacity;
+use mempool_obs::Json;
 use mempool_phys::Flow;
 
 use crate::design::DesignPoint;
@@ -34,9 +35,9 @@ impl Fig8 {
                 let efficiency = eval.efficiency(point, bw);
                 let gain_over_2d = match point.flow {
                     Flow::TwoD => None,
-                    Flow::ThreeD => Some(
-                        efficiency / eval.efficiency(Evaluation::two_d_counterpart(point), bw),
-                    ),
+                    Flow::ThreeD => {
+                        Some(efficiency / eval.efficiency(Evaluation::two_d_counterpart(point), bw))
+                    }
                 };
                 Fig8Bar {
                     point,
@@ -89,6 +90,31 @@ impl Fig8 {
         ));
         out
     }
+
+    /// Serializes the figure — the same bars [`Self::to_text`] prints.
+    pub fn to_json(&self) -> Json {
+        let bars = self
+            .bars
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("design", Json::str(b.point.name())),
+                    ("efficiency", Json::Float(b.efficiency)),
+                    (
+                        "gain_over_2d",
+                        b.gain_over_2d.map_or(Json::Null, Json::Float),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("figure", Json::str("fig8")),
+            ("title", Json::str("energy efficiency vs SPM capacity")),
+            ("bytes_per_cycle", Json::Int(SECTION_VI_B_BANDWIDTH as i64)),
+            ("reference", Json::str("MemPool-2D_1MiB")),
+            ("bars", Json::Arr(bars)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +130,10 @@ mod tests {
     fn three_d_is_more_efficient_at_every_capacity() {
         let f = fig();
         for cap in SpmCapacity::ALL {
-            assert!(f.bar(Flow::ThreeD, cap).gain_over_2d.unwrap() > 1.0, "{cap}");
+            assert!(
+                f.bar(Flow::ThreeD, cap).gain_over_2d.unwrap() > 1.0,
+                "{cap}"
+            );
         }
     }
 
@@ -116,7 +145,10 @@ mod tests {
         let mut last = f64::MAX;
         for cap in SpmCapacity::ALL {
             let e = f.bar(Flow::TwoD, cap).efficiency;
-            assert!(e < last + 0.02, "{cap}: 2D efficiency {e:.3} must trend down");
+            assert!(
+                e < last + 0.02,
+                "{cap}: 2D efficiency {e:.3} must trend down"
+            );
             last = e;
         }
         let e8 = f.bar(Flow::TwoD, SpmCapacity::MiB8).efficiency;

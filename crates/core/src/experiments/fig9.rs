@@ -1,6 +1,7 @@
 //! Figure 9: energy-delay product versus SPM capacity (16 B/cycle).
 
 use mempool_arch::SpmCapacity;
+use mempool_obs::Json;
 use mempool_phys::Flow;
 
 use crate::design::DesignPoint;
@@ -34,9 +35,7 @@ impl Fig9 {
                 let edp = eval.edp(point, bw);
                 let vs_2d = match point.flow {
                     Flow::TwoD => None,
-                    Flow::ThreeD => {
-                        Some(edp / eval.edp(Evaluation::two_d_counterpart(point), bw))
-                    }
+                    Flow::ThreeD => Some(edp / eval.edp(Evaluation::two_d_counterpart(point), bw)),
                 };
                 Fig9Bar { point, edp, vs_2d }
             })
@@ -94,6 +93,39 @@ impl Fig9 {
         ));
         out
     }
+
+    /// Serializes the figure — the same bars [`Self::to_text`] prints.
+    pub fn to_json(&self) -> Json {
+        let bars = self
+            .bars
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("design", Json::str(b.point.name())),
+                    ("edp", Json::Float(b.edp)),
+                    ("vs_2d", b.vs_2d.map_or(Json::Null, Json::Float)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("figure", Json::str("fig9")),
+            ("title", Json::str("energy-delay product vs SPM capacity")),
+            ("bytes_per_cycle", Json::Int(SECTION_VI_B_BANDWIDTH as i64)),
+            ("reference", Json::str("MemPool-2D_1MiB")),
+            ("bars", Json::Arr(bars)),
+            (
+                "best",
+                Json::obj([
+                    ("design", Json::str(self.best().point.name())),
+                    ("edp", Json::Float(self.best().edp)),
+                ]),
+            ),
+            (
+                "paper_3d_1mib_vs_baseline",
+                Json::Float(paper::FIG9_3D_1MIB_VS_BASELINE),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -129,11 +161,14 @@ mod tests {
         // design and never on the 8 MiB giant.
         let best = fig().best().point;
         assert_eq!(best.flow, Flow::ThreeD, "best EDP must be a 3D design");
-        assert!(best.capacity < SpmCapacity::MiB8, "best EDP is a small instance");
+        assert!(
+            best.capacity < SpmCapacity::MiB8,
+            "best EDP is a small instance"
+        );
     }
 
     #[test]
-    fn edp_worsens_toward_8mib(){
+    fn edp_worsens_toward_8mib() {
         let f = fig();
         for flow in Flow::ALL {
             assert!(

@@ -1,5 +1,6 @@
 //! Table I: tile implementation results.
 
+use mempool_obs::Json;
 use mempool_phys::report::TileReport;
 
 use crate::design::DesignPoint;
@@ -82,6 +83,36 @@ impl Table1 {
         }
         format!("Table I: MemPool tile implementation results\n{table}")
     }
+
+    /// Serializes the table — the same rows [`Self::to_text`] prints.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("design", Json::str(r.point.name())),
+                    ("footprint_norm", Json::Float(r.footprint_norm)),
+                    ("paper_footprint_norm", Json::Float(r.paper_footprint_norm)),
+                    (
+                        "logic_die_utilization",
+                        Json::Float(r.report.logic_die_utilization),
+                    ),
+                    (
+                        "memory_die_utilization",
+                        r.report
+                            .memory_die_utilization
+                            .map_or(Json::Null, Json::Float),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("table", Json::str("table1")),
+            ("title", Json::str("MemPool tile implementation results")),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -105,8 +136,8 @@ mod tests {
         // paper's value.
         let t = Table1::generate();
         for row in t.rows() {
-            let rel = (row.footprint_norm - row.paper_footprint_norm).abs()
-                / row.paper_footprint_norm;
+            let rel =
+                (row.footprint_norm - row.paper_footprint_norm).abs() / row.paper_footprint_norm;
             assert!(
                 rel < 0.15,
                 "{}: footprint {:.3} vs paper {:.3} ({:.0} % off)",

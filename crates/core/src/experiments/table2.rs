@@ -1,5 +1,7 @@
 //! Table II: group implementation results.
 
+use mempool_obs::Json;
+
 use crate::design::DesignPoint;
 use crate::experiments::Evaluation;
 use crate::paper;
@@ -61,15 +63,15 @@ impl Table2 {
             MetricRow {
                 name: "#F2F bumps [k]",
                 measured: collect(&|p| {
-                    eval.group(p).f2f_bumps.map_or(f64::NAN, |b| b as f64 / 1000.0)
+                    eval.group(p)
+                        .f2f_bumps
+                        .map_or(f64::NAN, |b| b as f64 / 1000.0)
                 }),
                 paper: points
                     .iter()
                     .map(|p| match p.flow {
                         mempool_phys::Flow::TwoD => f64::NAN,
-                        mempool_phys::Flow::ThreeD => {
-                            paper::group_f2f_bumps(p.capacity) / 1000.0
-                        }
+                        mempool_phys::Flow::ThreeD => paper::group_f2f_bumps(p.capacity) / 1000.0,
                     })
                     .collect(),
             },
@@ -81,8 +83,7 @@ impl Table2 {
             MetricRow {
                 name: "Total neg. slack",
                 measured: collect(&|p| {
-                    eval.group(p).total_negative_slack_ns
-                        / base.total_negative_slack_ns.abs()
+                    eval.group(p).total_negative_slack_ns / base.total_negative_slack_ns.abs()
                 }),
                 paper: collect(&|p| paper::group_tns(p.flow, p.capacity)),
             },
@@ -156,6 +157,45 @@ impl Table2 {
         }
         out.push_str(&t.to_string());
         out
+    }
+
+    /// Serializes the table: one entry per metric with measured and paper
+    /// value arrays in the same capacity-major column order as
+    /// [`Self::to_text`]. `NaN` cells (2D rows without F2F bumps) become
+    /// `null`.
+    pub fn to_json(&self) -> Json {
+        let points = self.points.iter().map(|p| Json::str(p.name())).collect();
+        let float_cell = |v: f64| {
+            if v.is_nan() {
+                Json::Null
+            } else {
+                Json::Float(v)
+            }
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("name", Json::str(r.name)),
+                    (
+                        "measured",
+                        Json::Arr(r.measured.iter().map(|&v| float_cell(v)).collect()),
+                    ),
+                    (
+                        "paper",
+                        Json::Arr(r.paper.iter().map(|&v| float_cell(v)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("table", Json::str("table2")),
+            ("title", Json::str("MemPool group implementation results")),
+            ("reference", Json::str("MemPool-2D_1MiB")),
+            ("points", Json::Arr(points)),
+            ("rows", Json::Arr(rows)),
+        ])
     }
 }
 
@@ -233,8 +273,7 @@ mod tests {
         let pdp = t.metric("Power-delay product").unwrap();
         for cap in SpmCapacity::ALL {
             assert!(
-                pdp.measured[col(&t, Flow::ThreeD, cap)]
-                    < pdp.measured[col(&t, Flow::TwoD, cap)],
+                pdp.measured[col(&t, Flow::ThreeD, cap)] < pdp.measured[col(&t, Flow::TwoD, cap)],
                 "{cap}: 3D PDP must win"
             );
         }
@@ -280,5 +319,36 @@ mod tests {
         assert!(text.contains("ours"));
         assert!(text.contains("paper"));
         assert!(text.contains("Eff. frequency"));
+    }
+
+    #[test]
+    fn json_mirrors_rows_with_nan_as_null() {
+        let t = table();
+        let json = t.to_json();
+        let rows = json.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), t.rows().len());
+        let bumps = rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some("#F2F bumps [k]"))
+            .unwrap();
+        let measured = bumps.get("measured").and_then(Json::as_arr).unwrap();
+        let nulls = measured.iter().filter(|v| **v == Json::Null).count();
+        assert_eq!(nulls, 4, "the four 2D points have no F2F bumps");
+        // Numeric cells match the struct exactly.
+        let freq_json = rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some("Eff. frequency"))
+            .unwrap();
+        let freq_row = t.metric("Eff. frequency").unwrap();
+        for (cell, &v) in freq_json
+            .get("measured")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .zip(&freq_row.measured)
+        {
+            assert_eq!(cell.as_f64().unwrap(), v);
+        }
+        assert_eq!(Json::parse(&json.to_pretty()).unwrap(), json);
     }
 }

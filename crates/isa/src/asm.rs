@@ -94,7 +94,9 @@ fn parse_imm(line: &Line<'_>, token: &str) -> Result<i64, AssembleError> {
         Some(rest) => (true, rest),
         None => (false, token),
     };
-    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+    let value = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
     {
         i64::from_str_radix(hex, 16)
     } else if let Some(bin) = digits.strip_prefix("0b") {
@@ -124,11 +126,14 @@ fn parse_mem_operand(
     post_inc: bool,
 ) -> Result<(i32, Reg), AssembleError> {
     let open = token.find('(').ok_or_else(|| {
-        AssembleError::new(line.number, format!("expected `offset(reg)`, got `{token}`"))
+        AssembleError::new(
+            line.number,
+            format!("expected `offset(reg)`, got `{token}`"),
+        )
     })?;
-    let close = token.rfind(')').ok_or_else(|| {
-        AssembleError::new(line.number, format!("missing `)` in `{token}`"))
-    })?;
+    let close = token
+        .rfind(')')
+        .ok_or_else(|| AssembleError::new(line.number, format!("missing `)` in `{token}`")))?;
     let off_text = token[..open].trim();
     let offset = if off_text.is_empty() {
         0
@@ -251,7 +256,11 @@ fn parse_line(line: &Line<'_>, mnemonic: &str, ops: &[&str]) -> Result<Vec<Draft
         ("lbu", LoadOp::Lbu),
         ("lhu", LoadOp::Lhu),
     ];
-    let store_ops = [("sb", StoreOp::Sb), ("sh", StoreOp::Sh), ("sw", StoreOp::Sw)];
+    let store_ops = [
+        ("sb", StoreOp::Sb),
+        ("sh", StoreOp::Sh),
+        ("sw", StoreOp::Sw),
+    ];
     let alu_r = [
         ("add", AluOp::Add),
         ("sub", AluOp::Sub),

@@ -289,10 +289,7 @@ mod tests {
                 .build()
                 .unwrap();
             let n = cfg.num_cores();
-            let src = format!(
-                "li s10, 0x100\nli s11, 0x104\n{}\nwfi",
-                barrier_asm(n, "0")
-            );
+            let src = format!("li s10, 0x100\nli s11, 0x104\n{}\nwfi", barrier_asm(n, "0"));
             let mut cluster = Cluster::new(cfg, SimParams::default());
             cluster.load_program(Program::assemble(&src).unwrap());
             cluster.preload_icaches();

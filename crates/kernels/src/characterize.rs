@@ -139,12 +139,8 @@ mod tests {
         let dot = DotProduct::new(1024);
         let mm = ComputePhase::new(32);
         let tr = Transpose::new(64);
-        characterize_suite(
-            &[&axpy, &dot, &mm, &tr],
-            &config(),
-            SimParams::default(),
-        )
-        .expect("suite runs")
+        characterize_suite(&[&axpy, &dot, &mm, &tr], &config(), SimParams::default())
+            .expect("suite runs")
     }
 
     #[test]

@@ -66,8 +66,7 @@ impl Conv2d {
         for ky in 0..3 {
             for kx in 0..3 {
                 acc = acc.wrapping_add(
-                    self.weights[(ky * 3 + kx) as usize]
-                        .wrapping_mul(self.pixel(ox + kx, oy + ky)),
+                    self.weights[(ky * 3 + kx) as usize].wrapping_mul(self.pixel(ox + kx, oy + ky)),
                 );
             }
         }
@@ -88,9 +87,7 @@ impl Kernel for Conv2d {
         let (_, out_h) = self.out_dims();
         if out_h % cores != 0 {
             return Err(KernelError::BadShape {
-                detail: format!(
-                    "output height {out_h} must be a multiple of {cores} cores"
-                ),
+                detail: format!("output height {out_h} must be a multiple of {cores} cores"),
             });
         }
         let rows_per_core = out_h / cores;

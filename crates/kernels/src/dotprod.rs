@@ -152,6 +152,8 @@ mod tests {
         // Many cores, tiny chunks: the amoadds pile onto one bank.
         let mut c = cluster(1);
         let kernel = DotProduct::new(16);
-        kernel.run(&mut c, 1_000_000).expect("contended dotprod failed");
+        kernel
+            .run(&mut c, 1_000_000)
+            .expect("contended dotprod failed");
     }
 }

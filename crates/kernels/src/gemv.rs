@@ -178,9 +178,10 @@ impl BlockedGemv {
         let ext_y = ext_x + m as u64 * 4;
         for i in 0..m {
             for j in 0..m {
-                cluster
-                    .storage_mut()
-                    .write_external_word(ext_a + (i as u64 * m as u64 + j as u64) * 4, Gemv::a_value(i, j));
+                cluster.storage_mut().write_external_word(
+                    ext_a + (i as u64 * m as u64 + j as u64) * 4,
+                    Gemv::a_value(i, j),
+                );
             }
             cluster
                 .storage_mut()

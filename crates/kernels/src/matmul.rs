@@ -59,8 +59,14 @@ impl ComputePhase {
     /// Panics if `p` is not a positive multiple of 4 or exceeds 511 (the
     /// post-increment immediate limit).
     pub fn new(p: u32) -> Self {
-        assert!(p > 0 && p.is_multiple_of(4), "tile dimension must be a multiple of 4");
-        assert!(p <= 511, "tile dimension limited by the 12-bit post-increment");
+        assert!(
+            p > 0 && p.is_multiple_of(4),
+            "tile dimension must be a multiple of 4"
+        );
+        assert!(
+            p <= 511,
+            "tile dimension limited by the 12-bit post-increment"
+        );
         ComputePhase {
             p,
             layout: None,
@@ -105,11 +111,7 @@ impl ComputePhase {
     pub fn tile_addrs(&self, cluster: &Cluster) -> (u32, u32, u32) {
         self.layout.unwrap_or_else(|| {
             let base = cluster.storage().map().interleaved_base();
-            (
-                base,
-                base + self.tile_bytes(),
-                base + 2 * self.tile_bytes(),
-            )
+            (base, base + self.tile_bytes(), base + 2 * self.tile_bytes())
         })
     }
 
@@ -437,7 +439,10 @@ impl BlockedMatmul {
     /// Panics if `t` does not divide `m` (the paper picks `M` as the least
     /// common multiple of all tile sizes for exactly this reason).
     pub fn new(m: u32, t: u32) -> Self {
-        assert!(m.is_multiple_of(t), "tile dimension must divide the matrix dimension");
+        assert!(
+            m.is_multiple_of(t),
+            "tile dimension must divide the matrix dimension"
+        );
         BlockedMatmul {
             m,
             phase: ComputePhase::new(t),
@@ -500,8 +505,9 @@ impl BlockedMatmul {
         cluster.preload_icaches();
 
         let mut cycles = MatmulCycles::default();
-        let tile_off =
-            |base: u64, ti: u32, tj: u32| base + (ti as u64 * t as u64 * m as u64 + tj as u64 * t as u64) * 4;
+        let tile_off = |base: u64, ti: u32, tj: u32| {
+            base + (ti as u64 * t as u64 * m as u64 + tj as u64 * t as u64) * 4
+        };
         for out_i in 0..steps {
             for out_j in 0..steps {
                 // Zero the C tile (part of the store/setup traffic; charged
@@ -591,7 +597,10 @@ impl DoubleBufferedMatmul {
     ///
     /// Panics if `t` does not divide `m`.
     pub fn new(m: u32, t: u32) -> Self {
-        assert!(m.is_multiple_of(t), "tile dimension must divide the matrix dimension");
+        assert!(
+            m.is_multiple_of(t),
+            "tile dimension must divide the matrix dimension"
+        );
         let _ = ComputePhase::new(t); // validate t
         DoubleBufferedMatmul { m, t }
     }
@@ -599,7 +608,13 @@ impl DoubleBufferedMatmul {
     fn buffers(&self, cluster: &Cluster) -> [u32; 5] {
         let base = cluster.storage().map().interleaved_base();
         let tile = self.t * self.t * 4;
-        [base, base + tile, base + 2 * tile, base + 3 * tile, base + 4 * tile]
+        [
+            base,
+            base + tile,
+            base + 2 * tile,
+            base + 3 * tile,
+            base + 4 * tile,
+        ]
     }
 
     /// Writes the input matrices into external memory (same layout as
@@ -801,9 +816,8 @@ impl PhaseModel {
     pub fn total_cycles_overlapped(&self, capacity: SpmCapacity, bytes_per_cycle: u32) -> f64 {
         // Largest t' <= t/sqrt(2) that is a multiple of the core count.
         let t = capacity.matmul_tile_dim();
-        let reduced = ((t as f64 / std::f64::consts::SQRT_2) as u64 / self.num_cores)
-            .max(1)
-            * self.num_cores;
+        let reduced =
+            ((t as f64 / std::f64::consts::SQRT_2) as u64 / self.num_cores).max(1) * self.num_cores;
         let tiles = (self.m as f64 / reduced as f64).ceil();
         let mem = self.memory_phase_cycles(reduced, bytes_per_cycle);
         let compute = self.compute_phase_cycles(reduced);
@@ -835,7 +849,7 @@ impl Default for PhaseModel {
 mod tests {
     use super::*;
     use mempool_arch::ClusterConfig;
-    use mempool_sim::{SimParams, Cluster};
+    use mempool_sim::{Cluster, SimParams};
 
     fn small_cluster() -> Cluster {
         // 16 cores, enough SPM for three 32x32 tiles (12 KiB + slack).
@@ -968,9 +982,18 @@ mod tests {
         let s4 = model.speedup(SpmCapacity::MiB8, 4, SpmCapacity::MiB1, 4);
         let s16 = model.speedup(SpmCapacity::MiB8, 16, SpmCapacity::MiB1, 16);
         let s64 = model.speedup(SpmCapacity::MiB8, 64, SpmCapacity::MiB1, 64);
-        assert!((1.30..1.55).contains(&s4), "4 B/c speedup {s4:.3} (paper 1.43)");
-        assert!((1.10..1.25).contains(&s16), "16 B/c speedup {s16:.3} (paper 1.16)");
-        assert!((1.04..1.13).contains(&s64), "64 B/c speedup {s64:.3} (paper 1.08)");
+        assert!(
+            (1.30..1.55).contains(&s4),
+            "4 B/c speedup {s4:.3} (paper 1.43)"
+        );
+        assert!(
+            (1.10..1.25).contains(&s16),
+            "16 B/c speedup {s16:.3} (paper 1.16)"
+        );
+        assert!(
+            (1.04..1.13).contains(&s64),
+            "64 B/c speedup {s64:.3} (paper 1.08)"
+        );
         // Monotonicity: speedup shrinks as bandwidth grows.
         assert!(s4 > s16 && s16 > s64);
     }
@@ -1017,7 +1040,8 @@ mod tests {
         let mut c2 = Cluster::new(cfg, SimParams::default().with_offchip_bandwidth(4));
         dbuf.setup(&mut c2).unwrap();
         let overlapped = dbuf.run(&mut c2).unwrap();
-        dbuf.verify(&c2).expect("double-buffered result must be correct");
+        dbuf.verify(&c2)
+            .expect("double-buffered result must be correct");
 
         assert!(
             overlapped.total() < sequential.total(),

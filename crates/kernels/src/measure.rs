@@ -12,6 +12,7 @@
 
 use mempool_arch::ClusterConfig;
 use mempool_isa::Program;
+use mempool_obs::{Json, Obs};
 use mempool_sim::{Cluster, SimParams};
 
 use crate::barrier::barrier_asm;
@@ -79,12 +80,35 @@ pub fn measure_compute_constants() -> Result<(f64, f64), KernelError> {
 ///
 /// Propagates simulation and verification errors.
 pub fn measure_compute_constants_with(blocking: Blocking) -> Result<(f64, f64), KernelError> {
+    measure_compute_constants_observed(blocking, None)
+}
+
+/// [`measure_compute_constants_with`], optionally recording each
+/// measurement run into an [`Obs`] handle: per-run DMA/core spans from the
+/// simulator plus one `compute` phase span and a `measure_cycles` metric
+/// per tile size.
+///
+/// # Errors
+///
+/// Propagates simulation and verification errors.
+pub fn measure_compute_constants_observed(
+    blocking: Blocking,
+    obs: Option<&Obs>,
+) -> Result<(f64, f64), KernelError> {
     let mut cycles = Vec::new();
     let mut macs = Vec::new();
     for p in [32u32, 64] {
+        let run = format!("compute-p{p}");
         let mut cluster = measurement_cluster()?;
+        if let Some(obs) = obs {
+            cluster.attach_obs(obs, &run);
+        }
         let phase = ComputePhase::new(p).with_blocking(blocking);
         let c = phase.run(&mut cluster, 100_000_000)?;
+        record_phase(obs, &run, "compute", c, &[("p", p as i64)]);
+        if obs.is_some() {
+            cluster.detach_obs();
+        }
         cycles.push(c as f64);
         macs.push(phase.total_macs() as f64 / cluster.config().num_cores() as f64);
     }
@@ -93,12 +117,38 @@ pub fn measure_compute_constants_with(blocking: Blocking) -> Result<(f64, f64), 
     Ok((cpm, overhead))
 }
 
+/// Records a whole-measurement phase span (cycle 0 to `end`) on the run's
+/// `phase` track and mirrors the cycle count as a gauge.
+fn record_phase(obs: Option<&Obs>, run: &str, name: &str, end: u64, args: &[(&str, i64)]) {
+    let Some(obs) = obs else { return };
+    let process = obs.spans.process(run);
+    let track = obs.spans.track(process, "phase");
+    let args = args
+        .iter()
+        .map(|(k, v)| (k.to_string(), Json::Int(*v)))
+        .collect();
+    obs.spans.complete(track, name, 0, end, args);
+    obs.metrics
+        .gauge("measure_cycles", &[("run", run), ("phase", name)])
+        .set(end as f64);
+}
+
 /// Measures the barrier cost at two core counts and fits a line.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn measure_barrier_constants() -> Result<(f64, f64), KernelError> {
+    measure_barrier_constants_observed(None)
+}
+
+/// [`measure_barrier_constants`], optionally recording each core-count
+/// point as a `barrier` phase span and `measure_cycles` metric.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn measure_barrier_constants_observed(obs: Option<&Obs>) -> Result<(f64, f64), KernelError> {
     let mut points = Vec::new();
     for (tiles, cores) in [(2u32 * 2, 2u32), (4 * 4, 4)] {
         let side = (tiles as f64).sqrt() as u32;
@@ -113,11 +163,19 @@ pub fn measure_barrier_constants() -> Result<(f64, f64), KernelError> {
                 detail: e.to_string(),
             })?;
         let n = cfg.num_cores();
+        let run = format!("barrier-n{n}");
         let src = format!("li s10, 0x100\nli s11, 0x104\n{}\nwfi", barrier_asm(n, "0"));
         let mut cluster = Cluster::new(cfg, SimParams::default());
+        if let Some(obs) = obs {
+            cluster.attach_obs(obs, &run);
+        }
         cluster.load_program(Program::assemble(&src)?);
         cluster.preload_icaches();
         let cycles = cluster.run(10_000_000)?;
+        record_phase(obs, &run, "barrier", cycles, &[("cores", n as i64)]);
+        if obs.is_some() {
+            cluster.detach_obs();
+        }
         points.push((n as f64, cycles as f64));
     }
     let slope = (points[1].1 - points[0].1) / (points[1].0 - points[0].0);
@@ -131,8 +189,21 @@ pub fn measure_barrier_constants() -> Result<(f64, f64), KernelError> {
 ///
 /// Propagates simulation and verification errors.
 pub fn measure_constants() -> Result<MeasuredConstants, KernelError> {
-    let (cycles_per_mac, loop_overhead) = measure_compute_constants()?;
-    let (barrier_cycles_per_core, barrier_base_cycles) = measure_barrier_constants()?;
+    measure_constants_observed(None)
+}
+
+/// [`measure_constants`], optionally recording every measurement run
+/// (compute tile sizes and barrier core counts) into an [`Obs`] handle —
+/// the spans export to a Perfetto-loadable trace via
+/// [`mempool_obs::chrome_trace`].
+///
+/// # Errors
+///
+/// Propagates simulation and verification errors.
+pub fn measure_constants_observed(obs: Option<&Obs>) -> Result<MeasuredConstants, KernelError> {
+    let (cycles_per_mac, loop_overhead) =
+        measure_compute_constants_observed(Blocking::OneByTwo, obs)?;
+    let (barrier_cycles_per_core, barrier_base_cycles) = measure_barrier_constants_observed(obs)?;
     Ok(MeasuredConstants {
         cycles_per_mac,
         loop_overhead,
@@ -167,6 +238,40 @@ mod tests {
             (2.5..3.8).contains(&staggered),
             "staggered cycles/MAC {staggered:.2} should match the recorded model constant"
         );
+    }
+
+    #[test]
+    fn observed_barrier_measurement_records_spans_and_metrics() {
+        let obs = Obs::new();
+        let plain = measure_barrier_constants().unwrap();
+        let observed = measure_barrier_constants_observed(Some(&obs)).unwrap();
+        assert_eq!(plain, observed, "observation must not perturb the runs");
+
+        // One `barrier` phase span per core-count point, each mirrored by a
+        // `measure_cycles` gauge with matching run labels.
+        let spans = obs.spans.spans();
+        let barrier_spans: Vec<_> = spans.iter().filter(|s| s.name == "barrier").collect();
+        assert_eq!(barrier_spans.len(), 2);
+        assert!(barrier_spans.iter().all(|s| s.cycles() > 0));
+        let snapshot = obs.metrics.snapshot();
+        let gauges: Vec<_> = snapshot
+            .gauges
+            .iter()
+            .filter(|g| g.name == "measure_cycles")
+            .collect();
+        assert_eq!(gauges.len(), 2);
+        for span in &barrier_spans {
+            assert!(
+                gauges.iter().any(|g| g.value == span.cycles() as f64),
+                "no measure_cycles gauge matches span of {} cycles",
+                span.cycles()
+            );
+        }
+        // The per-core wfi tails recorded by the simulator are in there too,
+        // and the whole timeline exports as valid Chrome Trace JSON.
+        assert!(spans.iter().any(|s| s.name == "wfi"));
+        let trace = mempool_obs::chrome_trace(&obs.spans);
+        assert!(mempool_obs::Json::parse(&trace.to_pretty()).is_ok());
     }
 
     #[test]

@@ -49,8 +49,8 @@ impl StencilPhaseModel {
     /// maximum is used.
     pub fn tile_dim(&self, capacity: SpmCapacity) -> u64 {
         let budget = capacity.bytes() / 8; // two buffers of two tiles
-        // (t+2)^2 + t^2 ~ 2t^2 for the sizes involved; solve exactly by
-        // scanning down from the approximation.
+                                           // (t+2)^2 + t^2 ~ 2t^2 for the sizes involved; solve exactly by
+                                           // scanning down from the approximation.
         let mut t = ((budget / 2) as f64).sqrt() as u64 + 1;
         while (t + 2) * (t + 2) + t * t > budget {
             t -= 1;
@@ -100,7 +100,8 @@ impl StencilPhaseModel {
     /// Fraction of the runtime spent moving data (memory-boundedness).
     pub fn memory_fraction(&self, capacity: SpmCapacity, bytes_per_cycle: u32) -> f64 {
         let t = self.tile_dim(capacity);
-        let mem = self.memory_phase_cycles(t, bytes_per_cycle) + self.store_cycles(t, bytes_per_cycle);
+        let mem =
+            self.memory_phase_cycles(t, bytes_per_cycle) + self.store_cycles(t, bytes_per_cycle);
         mem / (mem + self.compute_phase_cycles(t))
     }
 }
@@ -155,8 +156,7 @@ mod tests {
         // far more than the matmul.
         let stencil = StencilPhaseModel::with_measured_defaults();
         let matmul = PhaseModel::with_measured_defaults();
-        let stencil_gain =
-            stencil.speedup(SpmCapacity::MiB1, 16, SpmCapacity::MiB1, 4);
+        let stencil_gain = stencil.speedup(SpmCapacity::MiB1, 16, SpmCapacity::MiB1, 4);
         let matmul_gain = matmul.speedup(SpmCapacity::MiB1, 16, SpmCapacity::MiB1, 4);
         assert!(
             stencil_gain > 1.5 * matmul_gain,

@@ -27,7 +27,10 @@ impl Transpose {
     /// Panics if `n` is zero or `n * 4` exceeds the post-increment limit.
     pub fn new(n: u32) -> Self {
         assert!(n > 0, "matrix dimension must be nonzero");
-        assert!(n * 4 <= 2047, "dimension limited by the 12-bit post-increment");
+        assert!(
+            n * 4 <= 2047,
+            "dimension limited by the 12-bit post-increment"
+        );
         Transpose { n }
     }
 
@@ -143,7 +146,9 @@ mod tests {
     #[test]
     fn transpose_is_correct() {
         let mut c = cluster();
-        Transpose::new(32).run(&mut c, 10_000_000).expect("transpose failed");
+        Transpose::new(32)
+            .run(&mut c, 10_000_000)
+            .expect("transpose failed");
     }
 
     #[test]

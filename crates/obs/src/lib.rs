@@ -1,0 +1,95 @@
+//! # mempool-obs
+//!
+//! Observability subsystem for the MemPool-3D reproduction: the measurement
+//! substrate every performance claim in this repository rests on.
+//!
+//! * [`metrics`] — a registry of [`Counter`]/[`Gauge`]/[`Histogram`]
+//!   instruments with static labels, frozen into a serializable
+//!   [`MetricsSnapshot`];
+//! * [`span`] — cycle-domain phase spans ([`SpanRecorder`]): nested,
+//!   per-track intervals marked against the *simulated* clock;
+//! * [`attribution`] — normalized cycle accounting
+//!   ([`AttributionReport`]): per core, per tile, and cluster-wide, every
+//!   bucket summing exactly to the simulated cycle count, plus a
+//!   bank-conflict heatmap;
+//! * [`chrome`] — Chrome Trace Event export of span timelines, loadable in
+//!   Perfetto or `chrome://tracing`;
+//! * [`json`] — the self-contained JSON document model the exporters emit
+//!   (the vendored `serde` stub performs no real serialization);
+//! * [`artifacts`] — the artifact-directory writer used by
+//!   `repro --artifacts DIR`.
+//!
+//! The simulator attaches an [`Obs`] handle (shared metrics registry +
+//! span recorder); kernels and the experiment pipeline record into the
+//! same handle, and exporters snapshot it at the end of a run.
+//!
+//! ## Example
+//!
+//! ```
+//! use mempool_obs::{chrome, Json, Obs};
+//!
+//! let obs = Obs::new();
+//! let run = obs.spans.process("demo-run");
+//! let track = obs.spans.track(run, "core0");
+//! obs.spans.begin(track, "compute", 0);
+//! obs.spans.end(track, 1200);
+//! obs.metrics.counter("dma_bytes_total", &[]).add(4096);
+//!
+//! let snapshot = obs.metrics.snapshot();
+//! assert_eq!(snapshot.counters[0].value, 4096);
+//! let trace = chrome::chrome_trace(&obs.spans);
+//! assert!(Json::parse(&trace.to_pretty()).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod attribution;
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use artifacts::ArtifactDir;
+pub use attribution::{
+    AttributionReport, BankConflictInput, ConflictHeatmap, CoreCycleInput, CycleBuckets,
+};
+pub use chrome::chrome_trace;
+pub use json::{Json, JsonError};
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use span::{ProcessId, Span, SpanRecorder, TrackId};
+
+/// The combined observability handle: a shared metrics [`Registry`] and a
+/// shared [`SpanRecorder`]. Clones share state, so one `Obs` can be handed
+/// to the simulator, the kernels, and the experiment driver at once.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Shared metrics registry.
+    pub metrics: Registry,
+    /// Shared span recorder.
+    pub spans: SpanRecorder,
+}
+
+impl Obs {
+    /// Creates an empty handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_clones_share_both_sides() {
+        let obs = Obs::new();
+        let clone = obs.clone();
+        obs.metrics.counter("n", &[]).inc();
+        let p = obs.spans.process("run");
+        let t = obs.spans.track(p, "a");
+        obs.spans.complete(t, "x", 0, 5, vec![]);
+        assert_eq!(clone.metrics.snapshot().counters[0].value, 1);
+        assert_eq!(clone.spans.len(), 1);
+    }
+}

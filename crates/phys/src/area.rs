@@ -45,10 +45,8 @@ impl AreaReport {
         let cores_area =
             inventory.snitch_core_ge * tech.ge_area_um2 * (config.cores_per_tile() * tiles) as f64;
         let tile_ic_area = inventory.tile_other_ge * tech.ge_area_um2 * tiles as f64;
-        let spm_area =
-            tile.bank_macro().area_um2() * (tile.num_banks() * tiles) as f64;
-        let icache_area =
-            tile.icache_macro().area_um2() * (tile.num_icache_banks() * tiles) as f64;
+        let spm_area = tile.bank_macro().area_um2() * (tile.num_banks() * tiles) as f64;
+        let icache_area = tile.icache_macro().area_um2() * (tile.num_icache_banks() * tiles) as f64;
         let group_ic_area = inventory.group_interconnect_ge * tech.ge_area_um2;
         let buffer_area = group.buffers() * 1.8;
         let total_silicon = group.combined_die_area_um2();
@@ -119,8 +117,8 @@ impl AreaReport {
 
     /// SRAM share of the occupied silicon.
     pub fn sram_fraction(&self) -> f64 {
-        let sram = self.block("spm macros").unwrap_or(0.0)
-            + self.block("icache macros").unwrap_or(0.0);
+        let sram =
+            self.block("spm macros").unwrap_or(0.0) + self.block("icache macros").unwrap_or(0.0);
         let white = self.block("white space").unwrap_or(0.0);
         sram / (self.total_silicon_um2 - white)
     }

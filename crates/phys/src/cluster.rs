@@ -81,8 +81,7 @@ impl ClusterImplementation {
             .iter()
             .map(|d| 2.0 * (boundary_bits / 3.0) * d / 1000.0)
             .sum();
-        let glue_buffers =
-            inter_group_wire_mm / tech.repeater_spacing_mm + CLUSTER_GLUE_GE / 2.0;
+        let glue_buffers = inter_group_wire_mm / tech.repeater_spacing_mm + CLUSTER_GLUE_GE / 2.0;
 
         // The longest inter-group link must be retimed into the paper's
         // 5-cycle remote latency: how many wire-pipeline stages does it

@@ -30,8 +30,7 @@ impl F2fReport {
         let banks_on_mem = tile.num_banks() - partition.banks_on_logic_die;
         let mut signal = banks_on_mem as u64 * tile.bank_macro().signal_pins(32) as u64;
         if !partition.icache_on_logic_die {
-            signal +=
-                tile.num_icache_banks() as u64 * tile.icache_macro().signal_pins(32) as u64;
+            signal += tile.num_icache_banks() as u64 * tile.icache_macro().signal_pins(32) as u64;
         }
         // Clock spokes: one per macro on the memory die, plus a spine.
         signal += banks_on_mem as u64 + 8;

@@ -91,16 +91,13 @@ impl Geometry {
                         gy + (cy - gy) * STAGE0_CENTER_PULL + ny * 30.0,
                     )
                 } else {
-                    (
-                        cx + nx * 60.0 + (index as f64 - 1.5) * 25.0,
-                        cy + ny * 60.0,
-                    )
+                    (cx + nx * 60.0 + (index as f64 - 1.5) * 25.0, cy + ny * 60.0)
                 }
             }
             NetEndpoint::Boundary(network) => match network {
-                1 => (cx, 0.0),                    // north
-                2 => (self.side_um(), 0.0),        // northeast
-                _ => (self.side_um(), cy),         // east
+                1 => (cx, 0.0),             // north
+                2 => (self.side_um(), 0.0), // northeast
+                _ => (self.side_um(), cy),  // east
             },
         }
     }
@@ -201,10 +198,7 @@ impl GroupImplementation {
             .buses()
             .iter()
             .map(|bus| {
-                hpwl(
-                    geom.position(bus.from, radix),
-                    geom.position(bus.to, radix),
-                ) * bus.bits as f64
+                hpwl(geom.position(bus.from, radix), geom.position(bus.to, radix)) * bus.bits as f64
             })
             .sum::<f64>()
             / 1000.0;
@@ -220,8 +214,7 @@ impl GroupImplementation {
         let utilized = tiles_count * (tile.logic_cell_area_um2() + tile.macro_area_um2())
             + inventory.group_interconnect_ge * tech.ge_area_um2 / CHANNEL_CELL_UTIL
             + buffers * BUFFER_AREA_UM2;
-        let total_silicon =
-            geom.side_um() * geom.side_um() * flow.dies() as f64;
+        let total_silicon = geom.side_um() * geom.side_um() * flow.dies() as f64;
         let density = (utilized / total_silicon).min(1.0);
 
         // Timing over the full population of tile-to-tile routes through
@@ -418,7 +411,9 @@ impl GroupImplementation {
 
     /// F2F bumps for the whole group (3D only).
     pub fn f2f_bumps(&self) -> Option<u64> {
-        self.f2f.as_ref().map(|f| f.per_group(self.grid * self.grid))
+        self.f2f
+            .as_ref()
+            .map(|f| f.per_group(self.grid * self.grid))
     }
 }
 
@@ -427,9 +422,7 @@ fn worst_cut_demand(geom: &Geometry, netlist: &GroupNetlist, radix: u32) -> f64 
     let mut worst = 0.0f64;
     for c in 0..geom.grid.saturating_sub(1) {
         // Middle of inner channel c, in both orientations.
-        let cut = geom.channel_um
-            + (c + 1) as f64 * geom.pitch()
-            - geom.channel_um / 2.0;
+        let cut = geom.channel_um + (c + 1) as f64 * geom.pitch() - geom.channel_um / 2.0;
         let mut vertical = 0.0;
         let mut horizontal = 0.0;
         for bus in netlist.buses() {

@@ -109,7 +109,10 @@ impl GroupNetlist {
     /// Panics if `tiles` is not a nonzero perfect square.
     pub fn build(tiles: u32, addr_bits: u32) -> Self {
         let side = (tiles as f64).sqrt() as u32;
-        assert!(side > 0 && side * side == tiles, "tiles must be a perfect square");
+        assert!(
+            side > 0 && side * side == tiles,
+            "tiles must be a perfect square"
+        );
         let radix = 4u32.min(tiles);
         let switches = tiles.div_ceil(radix);
         let req = request_bits(addr_bits);

@@ -65,8 +65,7 @@ impl ActivityProfile {
         ActivityProfile {
             cell_activity: reference.cell_activity * ipc_per_core.clamp(0.0, 1.0),
             // Only off-tile accesses toggle the group wiring.
-            wire_activity: reference.wire_activity * off_tile_fraction.clamp(0.0, 1.0)
-                / 0.75, // matmul's interleaved off-tile share
+            wire_activity: reference.wire_activity * off_tile_fraction.clamp(0.0, 1.0) / 0.75, // matmul's interleaved off-tile share
             spm_accesses_per_tile_per_cycle,
             icache_accesses_per_tile_per_cycle: ipc_per_core.clamp(0.0, 1.0),
         }
@@ -221,7 +220,13 @@ mod tests {
         let busy = PowerReport::analyze(&tech, &tile, 16, 450_000.0, 180_000.0, 22_000.0);
         let idle_profile = ActivityProfile::from_ipc_and_accesses(0.4, 0.5, 0.3);
         let idle = PowerReport::analyze_with(
-            &tech, &tile, 16, 450_000.0, 180_000.0, 22_000.0, idle_profile,
+            &tech,
+            &tile,
+            16,
+            450_000.0,
+            180_000.0,
+            22_000.0,
+            idle_profile,
         );
         assert!(idle.cell_dynamic_mw < busy.cell_dynamic_mw);
         assert!(idle.wire_dynamic_mw < busy.wire_dynamic_mw);

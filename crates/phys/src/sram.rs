@@ -108,7 +108,11 @@ impl SramMacro {
     /// Access delay in ps.
     pub fn access_delay_ps(&self) -> f64 {
         let bits = self.bits as f64;
-        let step = if bits >= LARGE_MACRO_BITS { DSTEP_PS } else { 0.0 };
+        let step = if bits >= LARGE_MACRO_BITS {
+            DSTEP_PS
+        } else {
+            0.0
+        };
         D0_PS + DLOG_PS * (bits / 8192.0).log2() + step
     }
 

@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn constants_are_physically_plausible() {
         let t = Technology::n28();
-        assert!(t.ge_area_um2 > 0.2 && t.ge_area_um2 < 1.5, "28nm NAND2 area");
+        assert!(
+            t.ge_area_um2 > 0.2 && t.ge_area_um2 < 1.5,
+            "28nm NAND2 area"
+        );
         assert!(t.wire_delay_ps_per_mm > 50.0 && t.wire_delay_ps_per_mm < 300.0);
         assert!(t.target_density > 0.5 && t.target_density <= 0.95);
         assert!(t.route_utilization < 1.0);

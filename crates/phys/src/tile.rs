@@ -126,7 +126,8 @@ impl TileImplementation {
     }
 
     fn place_2d(&mut self) {
-        let macro_area = self.total_macro_area() + self.halo_area(self.num_banks, self.num_icache_banks);
+        let macro_area =
+            self.total_macro_area() + self.halo_area(self.num_banks, self.num_icache_banks);
         // First pass at target density, then relax the achievable density
         // when macros dominate (routing over/around macros congests the
         // cell region — the paper reports 84-86 % for the 4/8 MiB tiles).
@@ -207,9 +208,7 @@ impl TileImplementation {
         self.footprint_um2 = best.footprint_um2;
         self.partition = best.partition;
         self.memory_die_utilization = Some(best.memory_die_utilization);
-        self.logic_die_utilization = best
-            .logic_die_utilization
-            .min(self.tech.target_density);
+        self.logic_die_utilization = best.logic_die_utilization.min(self.tech.target_density);
     }
 
     /// The SPM capacity preset of this tile's cluster.

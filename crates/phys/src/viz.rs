@@ -79,7 +79,11 @@ pub fn memory_die_floorplan(tile: &TileImplementation, width_chars: usize) -> St
         let y0 = (row as f64 * mh / (2.0 * scale)) as usize;
         let y1 = (((row + 1) as f64 * mh - 2.0) / (2.0 * scale)) as usize;
         for row_cells in grid.iter_mut().take((y1 + 1).min(height_chars)).skip(y0) {
-            for cell in row_cells.iter_mut().take((x1 + 1).min(width_chars)).skip(x0) {
+            for cell in row_cells
+                .iter_mut()
+                .take((x1 + 1).min(width_chars))
+                .skip(x0)
+            {
                 *cell = '#';
             }
         }
@@ -177,8 +181,16 @@ pub fn group_density_map(group: &GroupImplementation, width_chars: usize) -> Str
 /// Renders the 2D and 3D groups of one capacity side by side, to scale
 /// (Figure 5).
 pub fn group_floorplan(g2d: &GroupImplementation, g3d: &GroupImplementation) -> String {
-    assert_eq!(g2d.flow(), Flow::TwoD, "first argument must be the 2D group");
-    assert_eq!(g3d.flow(), Flow::ThreeD, "second argument must be the 3D group");
+    assert_eq!(
+        g2d.flow(),
+        Flow::TwoD,
+        "first argument must be the 2D group"
+    );
+    assert_eq!(
+        g3d.flow(),
+        Flow::ThreeD,
+        "second argument must be the 3D group"
+    );
     let chars_per_um = 72.0 / g2d.side_um();
     let render = |g: &GroupImplementation| -> Vec<String> {
         let width = (g.side_um() * chars_per_um) as usize;

@@ -23,6 +23,7 @@ use mempool_arch::{
 };
 use mempool_isa::exec::{self, Issue, MemAccessKind, MemWidth};
 use mempool_isa::{Program, Reg};
+use mempool_obs::{Counter, Json, Obs, TrackId};
 
 use crate::core::{Core, Stall};
 use crate::icache::ICache;
@@ -103,6 +104,41 @@ struct Response {
     value: u32,
 }
 
+/// Observability attachment: shared handle plus the tracks and counters
+/// this cluster records into (see [`Cluster::attach_obs`]).
+#[derive(Debug)]
+struct ClusterObs {
+    obs: Obs,
+    /// Timeline of off-chip port activity (DMA transfers and waits).
+    dma_track: TrackId,
+    /// One timeline per core, for `wfi`/resume (barrier) spans.
+    core_tracks: Vec<TrackId>,
+    dma_bytes: Counter,
+    dma_transfers: Counter,
+    bank_conflicts: Counter,
+    icache_misses: Counter,
+}
+
+impl ClusterObs {
+    fn dma_span(&self, name: &str, start: u64, end: u64, bytes: u64, to_spm: bool) {
+        self.obs.spans.complete(
+            self.dma_track,
+            name,
+            start,
+            end,
+            vec![
+                ("bytes".to_string(), Json::Int(bytes as i64)),
+                (
+                    "direction".to_string(),
+                    Json::str(if to_spm { "to_spm" } else { "to_ext" }),
+                ),
+            ],
+        );
+        self.dma_bytes.add(bytes);
+        self.dma_transfers.inc();
+    }
+}
+
 /// Cycle-accurate model of a MemPool cluster.
 ///
 /// See the [crate-level example](crate) for typical use.
@@ -122,6 +158,7 @@ pub struct Cluster {
     dma_bytes: u64,
     dma_cycles: u64,
     trace: Option<Trace>,
+    obs: Option<ClusterObs>,
     /// Remote-port grants used per tile in the current cycle.
     remote_issued: Vec<u32>,
 }
@@ -157,7 +194,47 @@ impl Cluster {
             dma_bytes: 0,
             dma_cycles: 0,
             trace: None,
+            obs: None,
             remote_issued: vec![0; num_tiles],
+        }
+    }
+
+    /// Attaches an observability handle. The cluster records DMA transfers
+    /// and waits as spans on a `dma` track, each core's `wfi`-to-resume
+    /// (barrier) intervals as spans on per-core tracks, and DMA bytes /
+    /// transfer and bank-conflict counts as labeled metrics — all grouped
+    /// under a trace process named `run`.
+    ///
+    /// Recording costs nothing until attached; re-attaching replaces the
+    /// previous attachment (closing its open spans).
+    pub fn attach_obs(&mut self, obs: &Obs, run: &str) {
+        self.detach_obs();
+        let process = obs.spans.process(run);
+        let dma_track = obs.spans.track(process, "dma");
+        let core_tracks = (0..self.cores.len())
+            .map(|i| obs.spans.track(process, &format!("core{i}")))
+            .collect();
+        let labels = [("run", run)];
+        self.obs = Some(ClusterObs {
+            dma_track,
+            core_tracks,
+            dma_bytes: obs.metrics.counter("sim_dma_bytes_total", &labels),
+            dma_transfers: obs.metrics.counter("sim_dma_transfers_total", &labels),
+            bank_conflicts: obs
+                .metrics
+                .counter("sim_bank_conflict_cycles_total", &labels),
+            icache_misses: obs.metrics.counter("sim_icache_misses_total", &labels),
+            obs: obs.clone(),
+        });
+    }
+
+    /// Detaches the observability handle, closing any spans this cluster
+    /// left open (e.g. cores still parked at `wfi`) at the current cycle.
+    pub fn detach_obs(&mut self) {
+        if let Some(hooks) = self.obs.take() {
+            for &track in &hooks.core_tracks {
+                while hooks.obs.spans.end(track, self.cycle).is_some() {}
+            }
         }
     }
 
@@ -198,6 +275,13 @@ impl Cluster {
     /// files and memory contents are preserved, so multi-phase kernels can
     /// pass state between phases.
     pub fn resume_all(&mut self, pc: u32) {
+        if let Some(hooks) = &self.obs {
+            for (core, &track) in self.cores.iter().zip(&hooks.core_tracks) {
+                if core.halted() {
+                    hooks.obs.spans.end(track, self.cycle);
+                }
+            }
+        }
         for core in &mut self.cores {
             core.reset_at(pc);
         }
@@ -282,22 +366,33 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns an error if any SPM address in the range is unmapped.
-    pub fn dma(&mut self, ext_offset: u64, spm_addr: u32, bytes: u64, to_spm: bool) -> Result<u64, SimError> {
+    pub fn dma(
+        &mut self,
+        ext_offset: u64,
+        spm_addr: u32,
+        bytes: u64,
+        to_spm: bool,
+    ) -> Result<u64, SimError> {
         debug_assert_eq!(bytes % 4, 0, "dma moves whole words");
         for i in (0..bytes).step_by(4) {
             if to_spm {
                 let value = self.storage.read_external_word(ext_offset + i);
-                self.storage.write(spm_addr + i as u32, MemWidth::Word, value)?;
+                self.storage
+                    .write(spm_addr + i as u32, MemWidth::Word, value)?;
             } else {
                 let value = self.storage.read(spm_addr + i as u32, MemWidth::Word)?;
                 self.storage.write_external_word(ext_offset + i, value);
             }
         }
+        let start = self.cycle;
         let done = self.offchip.schedule(self.cycle, bytes);
         let elapsed = done - self.cycle;
         self.cycle = done;
         self.dma_bytes += bytes;
         self.dma_cycles += elapsed;
+        if let Some(hooks) = &self.obs {
+            hooks.dma_span("dma", start, done, bytes, to_spm);
+        }
         Ok(elapsed)
     }
 
@@ -319,13 +414,24 @@ impl Cluster {
         row_bytes: u32,
         to_spm: bool,
     ) -> Result<u64, SimError> {
-        self.move_tile(ext_base, ext_stride_bytes, spm_addr, rows, row_bytes, to_spm)?;
+        self.move_tile(
+            ext_base,
+            ext_stride_bytes,
+            spm_addr,
+            rows,
+            row_bytes,
+            to_spm,
+        )?;
         let bytes = rows as u64 * row_bytes as u64;
+        let start = self.cycle;
         let done = self.offchip.schedule(self.cycle, bytes);
         let elapsed = done - self.cycle;
         self.cycle = done;
         self.dma_bytes += bytes;
         self.dma_cycles += elapsed;
+        if let Some(hooks) = &self.obs {
+            hooks.dma_span("dma_tile", start, done, bytes, to_spm);
+        }
         Ok(elapsed)
     }
 
@@ -350,10 +456,23 @@ impl Cluster {
         row_bytes: u32,
         to_spm: bool,
     ) -> Result<u64, SimError> {
-        self.move_tile(ext_base, ext_stride_bytes, spm_addr, rows, row_bytes, to_spm)?;
+        self.move_tile(
+            ext_base,
+            ext_stride_bytes,
+            spm_addr,
+            rows,
+            row_bytes,
+            to_spm,
+        )?;
         let bytes = rows as u64 * row_bytes as u64;
         let done = self.offchip.schedule(self.cycle, bytes);
         self.dma_bytes += bytes;
+        if let Some(hooks) = &self.obs {
+            // The transfer occupies the port for its serialization window,
+            // which may start after `now` if the port is busy.
+            let start = done - self.offchip.transfer_cycles(bytes);
+            hooks.dma_span("dma_async", start, done, bytes, to_spm);
+        }
         Ok(done)
     }
 
@@ -362,6 +481,15 @@ impl Cluster {
     /// as DMA time.
     pub fn advance_to(&mut self, cycle: u64) {
         if cycle > self.cycle {
+            if let Some(hooks) = &self.obs {
+                hooks.obs.spans.complete(
+                    hooks.dma_track,
+                    "dma_wait",
+                    self.cycle,
+                    cycle,
+                    Vec::new(),
+                );
+            }
             self.dma_cycles += cycle - self.cycle;
             self.cycle = cycle;
         }
@@ -434,6 +562,9 @@ impl Cluster {
             let Some(index) = best else { continue };
             if contenders > 1 {
                 bank.stats.conflicts += (contenders - 1) as u64;
+                if let Some(hooks) = &self.obs {
+                    hooks.bank_conflicts.add((contenders - 1) as u64);
+                }
             }
             let access = bank.queue.swap_remove(index);
             bank.stats.served += 1;
@@ -447,9 +578,7 @@ impl Cluster {
                 },
                 MemAccessKind::Store { width, value } => {
                     let new = match width {
-                        MemWidth::Byte => {
-                            (old_word & !(0xff << shift)) | ((value & 0xff) << shift)
-                        }
+                        MemWidth::Byte => (old_word & !(0xff << shift)) | ((value & 0xff) << shift),
                         MemWidth::Half => {
                             (old_word & !(0xffff << shift)) | ((value & 0xffff) << shift)
                         }
@@ -513,6 +642,10 @@ impl Cluster {
                 let penalty = self.params.icache_miss_penalty;
                 core.insert_bubble(penalty);
                 core.stats.stall_icache += penalty as u64;
+                core.stats.icache_misses += 1;
+                if let Some(hooks) = &self.obs {
+                    hooks.icache_misses.inc();
+                }
                 continue;
             }
             let Some(instr) = self.program.fetch(pc) else {
@@ -561,7 +694,12 @@ impl Cluster {
                     }
                     core.pc = next;
                 }
-                Issue::Halt => core.halt(),
+                Issue::Halt => {
+                    core.halt();
+                    if let Some(hooks) = &self.obs {
+                        hooks.obs.spans.begin(hooks.core_tracks[index], "wfi", now);
+                    }
+                }
                 Issue::Mem { req, next_pc } => {
                     core.pc = next_pc;
                     let width = match req.kind {
@@ -573,7 +711,8 @@ impl Cluster {
                     match self.storage.decode(req.addr, width)? {
                         MemoryRegion::Spm(loc) => {
                             let class = LatencyModel::classify(&self.config, tile, loc.tile);
-                            core.stats.record_access(class, self.topo.route(tile, loc.tile).network);
+                            core.stats
+                                .record_access(class, self.topo.route(tile, loc.tile).network);
                             core.mark_pending(req.kind.response_reg());
                             let (req_lat, resp_lat) =
                                 Self::latency_split(&self.params.latency, class);
@@ -592,9 +731,7 @@ impl Cluster {
                             core.mark_pending(req.kind.response_reg());
                             let done = self.offchip.schedule(now, width.bytes() as u64);
                             let value = match req.kind {
-                                MemAccessKind::Load { .. } => {
-                                    self.storage.read(req.addr, width)?
-                                }
+                                MemAccessKind::Load { .. } => self.storage.read(req.addr, width)?,
                                 MemAccessKind::Store { value, .. } => {
                                     self.storage.write(req.addr, width, value)?;
                                     0
@@ -675,6 +812,11 @@ impl Cluster {
     /// The topology helper bound to this cluster's configuration.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The off-chip port (bandwidth, busy window, transfer totals).
+    pub fn offchip(&self) -> &OffchipPort {
+        &self.offchip
     }
 }
 
@@ -938,12 +1080,9 @@ mod tests {
         let base = mempool_arch::AddressMap::EXTERNAL_BASE;
         let cfg = tiny_config();
         let mut cluster = Cluster::new(cfg, SimParams::default());
+        cluster.storage_mut().write_external_word(0, 1234);
         cluster
-            .storage_mut()
-            .write_external_word(0, 1234);
-        cluster.load_program(
-            Program::assemble(&format!("li t0, {base}\nlw a0, 0(t0)\nwfi")).unwrap(),
-        );
+            .load_program(Program::assemble(&format!("li t0, {base}\nlw a0, 0(t0)\nwfi")).unwrap());
         cluster.preload_icaches();
         let cycles = cluster.run(10_000).unwrap();
         assert_eq!(
@@ -1028,7 +1167,12 @@ mod tests {
             .build()
             .unwrap();
         let probe = Cluster::new(cfg.clone(), SimParams::default());
-        let addr = |tile: u32| probe.storage().map().seq_addr(mempool_arch::TileId(tile), 0);
+        let addr = |tile: u32| {
+            probe
+                .storage()
+                .map()
+                .seq_addr(mempool_arch::TileId(tile), 0)
+        };
         let src = format!(
             r#"
                 csrr t1, mhartid
@@ -1106,7 +1250,10 @@ mod tests {
         };
         let (wide_cycles, wide_stalls) = run_with_ports(4);
         let (narrow_cycles, narrow_stalls) = run_with_ports(1);
-        assert!(narrow_stalls > wide_stalls, "1 port must stall more ({narrow_stalls} vs {wide_stalls})");
+        assert!(
+            narrow_stalls > wide_stalls,
+            "1 port must stall more ({narrow_stalls} vs {wide_stalls})"
+        );
         assert!(
             narrow_cycles > wide_cycles,
             "1 port must be slower ({narrow_cycles} vs {wide_cycles})"
@@ -1132,13 +1279,257 @@ mod tests {
         };
         assert_eq!(cycles, sorted, "trace must be in issue order");
         cycles.dedup();
-        assert_eq!(cycles.len(), 4, "single-issue core: one instruction per cycle");
+        assert_eq!(
+            cycles.len(),
+            4,
+            "single-issue core: one instruction per cycle"
+        );
         let text = trace.to_string();
         assert!(text.contains("add a2, a0, a1"));
         // Disabling returns the buffer and stops recording.
         let taken = cluster.disable_trace().unwrap();
         assert_eq!(taken.len(), 4);
         assert!(cluster.trace().is_none());
+    }
+
+    #[test]
+    fn async_dma_overlaps_with_compute() {
+        // Double-buffering contract: an async tile DMA occupies the
+        // off-chip port while the cores keep computing, so the total run
+        // is shorter than the sum of the two phases.
+        let busy_loop = r#"
+            li   t1, 2000
+        loop:
+            addi t1, t1, -1
+            bnez t1, loop
+            wfi
+        "#;
+        let bytes = 64u64 * 16;
+
+        // Serial reference: DMA first (cores idle), then compute.
+        let mut serial = Cluster::new(tiny_config(), SimParams::default());
+        serial.load_program(Program::assemble(busy_loop).unwrap());
+        serial.preload_icaches();
+        let dma_cycles = serial.dma(0, 0, bytes, true).unwrap();
+        let serial_total = serial.run(1_000_000).unwrap();
+
+        // Overlapped: the same DMA started asynchronously.
+        let mut overlap = Cluster::new(tiny_config(), SimParams::default());
+        overlap.load_program(Program::assemble(busy_loop).unwrap());
+        overlap.preload_icaches();
+        let done = overlap.dma_tile_async(0, 64, 0, 16, 64, true).unwrap();
+        assert_eq!(
+            done,
+            overlap.offchip().transfer_cycles(bytes),
+            "async DMA on an idle port completes after the pure transfer cost"
+        );
+        overlap.run(1_000_000).unwrap();
+        overlap.advance_to(done);
+        let overlap_total = overlap.cycle();
+
+        assert!(dma_cycles > 0);
+        assert!(
+            overlap_total < serial_total,
+            "overlap ({overlap_total}) must beat serial ({serial_total})"
+        );
+        assert_eq!(
+            overlap_total + dma_cycles,
+            serial_total,
+            "the compute phase fully hides the transfer"
+        );
+        // The port's own accounting agrees with the schedule.
+        assert_eq!(overlap.offchip().total_bytes(), bytes);
+        assert_eq!(overlap.offchip().busy_until(), done);
+        assert_eq!(overlap.stats().dma_bytes, bytes);
+    }
+
+    #[test]
+    fn double_buffered_sequence_overlaps_both_transfers() {
+        // Two async DMAs back to back serialize on the port but still
+        // overlap compute; total cycles < sum of phases.
+        let busy_loop = r#"
+            li   t1, 4000
+        loop:
+            addi t1, t1, -1
+            bnez t1, loop
+            wfi
+        "#;
+        let bytes = 64u64 * 8;
+
+        // Compute-only reference: same program, no DMA.
+        let compute_only = {
+            let mut c = Cluster::new(tiny_config(), SimParams::default());
+            c.load_program(Program::assemble(busy_loop).unwrap());
+            c.preload_icaches();
+            c.run(1_000_000).unwrap()
+        };
+
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        cluster.load_program(Program::assemble(busy_loop).unwrap());
+        cluster.preload_icaches();
+        let first = cluster.dma_tile_async(0, 64, 0, 8, 64, true).unwrap();
+        let second = cluster.dma_tile_async(512, 64, 512, 8, 64, true).unwrap();
+        assert!(second > first, "transfers serialize on the single port");
+        assert_eq!(
+            second - first,
+            cluster.offchip().transfer_cycles(bytes),
+            "the second transfer queues behind the first"
+        );
+        cluster.run(1_000_000).unwrap();
+        cluster.advance_to(second);
+        let total = cluster.cycle();
+        let phase_sum = compute_only + 2 * cluster.offchip().transfer_cycles(bytes);
+        assert!(
+            total < phase_sum,
+            "total {total} must be less than the sum of phases {phase_sum}"
+        );
+        assert_eq!(total, compute_only, "both transfers hide under compute");
+        assert_eq!(cluster.offchip().total_bytes(), 2 * bytes);
+        assert_eq!(cluster.offchip().busy_until(), second);
+    }
+
+    #[test]
+    fn attribution_buckets_sum_to_total_cycles() {
+        // Exercise every bucket: cold I$ (fetch stalls), taken branches,
+        // bank conflicts (scoreboard + structural pressure), a barrier-like
+        // wfi tail, and a synchronous DMA (off-chip wait).
+        let cfg = ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(4)
+            .cores_per_tile(4)
+            .banks_per_tile(4)
+            .bank_words(64)
+            .build()
+            .unwrap();
+        let (cores_per_tile, banks_per_tile) = (cfg.cores_per_tile(), cfg.banks_per_tile());
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        cluster.load_program(
+            Program::assemble(
+                r#"
+                    li   t0, 0
+                    li   t1, 32
+                loop:
+                    lw   a0, 0(t0)
+                    add  a1, a0, a0
+                    addi t1, t1, -1
+                    bnez t1, loop
+                    wfi
+                "#,
+            )
+            .unwrap(),
+        );
+        // Cold I$: misses charged; synchronous DMA: off-chip wait.
+        cluster.dma(0, 0, 256, true).unwrap();
+        cluster.run(1_000_000).unwrap();
+        let stats = cluster.stats();
+        let report = stats.attribution(cores_per_tile, banks_per_tile);
+        assert_eq!(report.cycles, stats.cycles);
+        for (i, core) in report.cores.iter().enumerate() {
+            assert_eq!(
+                core.total(),
+                report.cycles,
+                "core {i} buckets must sum to total cycles"
+            );
+        }
+        assert_eq!(
+            report.cluster.total(),
+            report.cycles * stats.cores.len() as u64
+        );
+        // The DMA advanced the clock without stepping cores: every core's
+        // off-chip bucket is exactly that window.
+        assert!(report.cores.iter().all(|c| c.offchip == stats.dma_cycles));
+        // And the heatmap carries the same conflicts as the raw stats.
+        let heat_total: u64 = report.heatmap.rows.iter().flatten().sum();
+        assert_eq!(heat_total, stats.total_conflicts());
+    }
+
+    #[test]
+    fn attribution_without_dma_has_no_offchip_residual() {
+        // With no DMA, the exhaustive accounting leaves nothing over:
+        // every cycle of every core lands in a named bucket.
+        let cluster = run_program(
+            tiny_config(),
+            r#"
+                li   t0, 0
+                li   t1, 8
+            loop:
+                lw   a0, 0(t0)
+                add  a1, a0, a0
+                addi t1, t1, -1
+                bnez t1, loop
+                wfi
+            "#,
+        );
+        let stats = cluster.stats();
+        let report = stats.attribution(1, 4);
+        assert_eq!(report.cores[0].offchip, 0, "no DMA ran: zero residual");
+        assert_eq!(report.cores[0].total(), report.cycles);
+    }
+
+    #[test]
+    fn obs_hooks_record_dma_and_wfi_spans_and_conflict_metrics() {
+        use mempool_obs::Obs;
+        let cfg = ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(1)
+            .cores_per_tile(4)
+            .banks_per_tile(4)
+            .bank_words(64)
+            .build()
+            .unwrap();
+        let obs = Obs::new();
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        cluster.attach_obs(&obs, "test-run");
+        cluster.load_program(
+            Program::assemble(
+                r#"
+                    li   t0, 0
+                    li   t1, 16
+                loop:
+                    lw   a0, 0(t0)
+                    addi t1, t1, -1
+                    bnez t1, loop
+                    wfi
+                "#,
+            )
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        let dma_elapsed = cluster.dma(0, 0, 128, true).unwrap();
+        cluster.run(1_000_000).unwrap();
+        let stats = cluster.stats();
+        cluster.detach_obs();
+
+        assert_eq!(obs.spans.open_count(), 0, "detach closes wfi spans");
+        assert_eq!(obs.spans.total_cycles("dma"), dma_elapsed);
+        let wfi_spans: Vec<_> = obs
+            .spans
+            .spans()
+            .into_iter()
+            .filter(|s| s.name == "wfi")
+            .collect();
+        assert_eq!(wfi_spans.len(), 4, "one wfi span per core");
+        assert!(wfi_spans.iter().all(|s| s.end == stats.cycles));
+
+        let snapshot = obs.metrics.snapshot();
+        let value = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        assert_eq!(value("sim_dma_bytes_total"), 128);
+        assert_eq!(value("sim_dma_transfers_total"), 1);
+        assert_eq!(
+            value("sim_bank_conflict_cycles_total"),
+            stats.total_conflicts()
+        );
+        assert_eq!(
+            snapshot.counters[0].labels,
+            vec![("run".to_string(), "test-run".to_string())]
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl Core {
             }
         }
         // WAW on the issue-time destination or the response destination.
-        for reg in [instr.dst_reg(), instr.response_reg()].into_iter().flatten() {
+        for reg in [instr.dst_reg(), instr.response_reg()]
+            .into_iter()
+            .flatten()
+        {
             if self.is_busy(reg) {
                 return Err(Stall::Scoreboard);
             }

@@ -49,11 +49,20 @@ impl ICache {
     /// Panics if the geometry is degenerate or any parameter is not a
     /// power of two.
     pub fn with_ways(capacity_bytes: u32, line_words: u32, ways: u32) -> Self {
-        assert!(line_words.is_power_of_two(), "line words must be a power of two");
-        assert!(ways.is_power_of_two(), "associativity must be a power of two");
+        assert!(
+            line_words.is_power_of_two(),
+            "line words must be a power of two"
+        );
+        assert!(
+            ways.is_power_of_two(),
+            "associativity must be a power of two"
+        );
         let lines = capacity_bytes / (line_words * 4);
         assert!(lines > 0, "icache must hold at least one line");
-        assert!(lines.is_power_of_two(), "icache line count must be a power of two");
+        assert!(
+            lines.is_power_of_two(),
+            "icache line count must be a power of two"
+        );
         assert!(ways <= lines, "associativity exceeds the line count");
         let sets = (lines / ways) as usize;
         ICache {

@@ -62,6 +62,7 @@ pub mod stats;
 pub mod trace;
 
 pub use cluster::{Cluster, SimError};
+pub use offchip::OffchipPort;
 pub use params::SimParams;
 pub use stats::{BankStats, ClusterStats, CoreStats};
 pub use trace::{Trace, TraceEntry};

@@ -85,6 +85,9 @@ mod tests {
     fn bandwidth_override_keeps_other_fields() {
         let p = SimParams::default().with_offchip_bandwidth(4);
         assert_eq!(p.offchip_bytes_per_cycle, 4);
-        assert_eq!(p.icache_miss_penalty, SimParams::default().icache_miss_penalty);
+        assert_eq!(
+            p.icache_miss_penalty,
+            SimParams::default().icache_miss_penalty
+        );
     }
 }

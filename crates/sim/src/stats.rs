@@ -3,6 +3,7 @@
 use std::fmt;
 
 use mempool_arch::{AccessClass, GroupNetwork};
+use mempool_obs::{AttributionReport, BankConflictInput, CoreCycleInput};
 
 /// Per-core execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -13,8 +14,12 @@ pub struct CoreStats {
     pub stall_scoreboard: u64,
     /// Cycles stalled because the outstanding-transaction limit was hit.
     pub stall_structural: u64,
-    /// Cycles stalled on instruction-cache misses.
+    /// Cycles stalled on instruction-cache misses (the refill bubbles).
     pub stall_icache: u64,
+    /// Instruction-cache miss events. The miss slot itself costs one cycle
+    /// on top of the refill bubbles in `stall_icache`, so exact cycle
+    /// accounting charges `stall_icache + icache_misses` to the I$.
+    pub icache_misses: u64,
     /// Cycles lost to taken-branch bubbles.
     pub stall_branch: u64,
     /// Cycles after the core halted (idle at a barrier's end or `wfi`).
@@ -31,6 +36,24 @@ impl CoreStats {
     /// Total stall cycles of all causes.
     pub fn total_stalls(&self) -> u64 {
         self.stall_scoreboard + self.stall_structural + self.stall_icache + self.stall_branch
+    }
+
+    /// Cycles lost to instruction fetch: the refill bubbles plus the miss
+    /// slots themselves.
+    pub fn fetch_stall_cycles(&self) -> u64 {
+        self.stall_icache + self.icache_misses
+    }
+
+    /// Every cycle this core was stepped, by exhaustive accounting:
+    /// issue + stalls + halted. Cycles the cluster clock advanced without
+    /// stepping cores (synchronous DMA) are not included.
+    pub fn accounted_cycles(&self) -> u64 {
+        self.retired
+            + self.stall_scoreboard
+            + self.stall_structural
+            + self.fetch_stall_cycles()
+            + self.stall_branch
+            + self.halted_cycles
     }
 
     /// Records an access of the given class, traversing `network` if it
@@ -93,7 +116,11 @@ impl ClusterStats {
     /// Deepest bank queue seen anywhere in the run — how far behind the
     /// most contended bank fell.
     pub fn max_bank_queue_depth(&self) -> u64 {
-        self.banks.iter().map(|b| b.max_queue_depth).max().unwrap_or(0)
+        self.banks
+            .iter()
+            .map(|b| b.max_queue_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total accesses by distance class (tile-local, group-local, remote).
@@ -117,6 +144,40 @@ impl ClusterStats {
             }
         }
         total
+    }
+
+    /// Builds the normalized cycle-attribution report: per core, per tile,
+    /// and cluster-wide buckets that each sum exactly to [`Self::cycles`],
+    /// plus the bank-conflict heatmap. `cores_per_tile` and
+    /// `banks_per_tile` come from the cluster configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator's cycle accounting is violated (a core with
+    /// more accounted cycles than the cluster simulated) or the per-tile
+    /// shape does not divide the core/bank counts.
+    pub fn attribution(&self, cores_per_tile: u32, banks_per_tile: u32) -> AttributionReport {
+        let cores: Vec<CoreCycleInput> = self
+            .cores
+            .iter()
+            .map(|c| CoreCycleInput {
+                issue: c.retired,
+                scoreboard: c.stall_scoreboard,
+                structural: c.stall_structural,
+                icache: c.fetch_stall_cycles(),
+                branch: c.stall_branch,
+                halted: c.halted_cycles,
+            })
+            .collect();
+        let banks: Vec<BankConflictInput> = self
+            .banks
+            .iter()
+            .map(|b| BankConflictInput {
+                served: b.served,
+                conflicts: b.conflicts,
+            })
+            .collect();
+        AttributionReport::new(self.cycles, &cores, cores_per_tile, &banks, banks_per_tile)
     }
 }
 

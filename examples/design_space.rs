@@ -30,7 +30,16 @@ fn main() {
     let mut by_edp: Vec<_> = DesignPoint::all().map(|p| (p, eval.edp(p, 16))).collect();
     by_edp.sort_by(|a, b| a.1.total_cmp(&b.1));
 
-    println!("best performance:      {} ({:.3})", by_perf[0].0, by_perf[0].1);
-    println!("best energy efficiency: {} ({:.3})", by_eff[0].0, by_eff[0].1);
-    println!("best EDP:              {} ({:.3})", by_edp[0].0, by_edp[0].1);
+    println!(
+        "best performance:      {} ({:.3})",
+        by_perf[0].0, by_perf[0].1
+    );
+    println!(
+        "best energy efficiency: {} ({:.3})",
+        by_eff[0].0, by_eff[0].1
+    );
+    println!(
+        "best EDP:              {} ({:.3})",
+        by_edp[0].0, by_edp[0].1
+    );
 }

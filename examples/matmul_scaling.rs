@@ -24,11 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     println!("simulated 96x96 blocked matmul (t = 32), end to end:");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>8}", "BW [B/c]", "mem cycles", "compute", "total", "mem %");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>8}",
+        "BW [B/c]", "mem cycles", "compute", "total", "mem %"
+    );
     let mm = BlockedMatmul::new(96, 32);
     for bandwidth in [4u32, 8, 16, 32, 64] {
-        let mut cluster =
-            Cluster::new(config.clone(), SimParams::default().with_offchip_bandwidth(bandwidth));
+        let mut cluster = Cluster::new(
+            config.clone(),
+            SimParams::default().with_offchip_bandwidth(bandwidth),
+        );
         mm.setup(&mut cluster)?;
         let cycles = mm.run(&mut cluster)?;
         mm.verify(&cluster)?;

@@ -51,7 +51,10 @@ fn full_cluster_runs_a_256x256_compute_phase() {
     // local, 48/64 remote — check the ordering at least.
     assert!(remote > group && group > local);
     let nets = stats.accesses_by_network();
-    assert!(nets.iter().all(|&n| n > 0), "all four networks carry traffic: {nets:?}");
+    assert!(
+        nets.iter().all(|&n| n > 0),
+        "all four networks carry traffic: {nets:?}"
+    );
 }
 
 #[test]

@@ -40,8 +40,8 @@ fn measured_model(m: u64) -> PhaseModel {
 /// off-chip latency the pure model idealizes away.
 fn predict(model: &PhaseModel, m: u64, t: u64, bw: u32, latency: u64) -> f64 {
     let steps = m / t;
-    let per_k = model.memory_phase_cycles(t, bw) + 2.0 * latency as f64
-        + model.compute_phase_cycles(t);
+    let per_k =
+        model.memory_phase_cycles(t, bw) + 2.0 * latency as f64 + model.compute_phase_cycles(t);
     let per_tile = steps as f64 * per_k + model.store_cycles(t, bw) + latency as f64;
     (steps * steps) as f64 * per_tile
 }
@@ -52,8 +52,10 @@ fn analytic_model_predicts_simulated_totals() {
     let latency = SimParams::default().offchip_latency as u64;
     for bw in [4u32, 16, 64] {
         let mm = BlockedMatmul::new(96, 32);
-        let mut cluster =
-            Cluster::new(sim_config(), SimParams::default().with_offchip_bandwidth(bw));
+        let mut cluster = Cluster::new(
+            sim_config(),
+            SimParams::default().with_offchip_bandwidth(bw),
+        );
         mm.setup(&mut cluster).expect("setup");
         let simulated = mm.run(&mut cluster).expect("run").total() as f64;
         let predicted = predict(&model, 96, 32, bw, latency);
@@ -93,8 +95,10 @@ fn bandwidth_sensitivity_matches_between_model_and_simulation() {
     let latency = SimParams::default().offchip_latency as u64;
     let run = |bw: u32| {
         let mm = BlockedMatmul::new(96, 32);
-        let mut cluster =
-            Cluster::new(sim_config(), SimParams::default().with_offchip_bandwidth(bw));
+        let mut cluster = Cluster::new(
+            sim_config(),
+            SimParams::default().with_offchip_bandwidth(bw),
+        );
         mm.setup(&mut cluster).expect("setup");
         mm.run(&mut cluster).expect("run").total() as f64
     };

@@ -32,7 +32,10 @@ fn blocked_matmul_verifies_across_bandwidths() {
         totals.push((bw, cycles.total()));
     }
     // More bandwidth, fewer total cycles — strictly.
-    assert!(totals[0].1 > totals[1].1 && totals[1].1 > totals[2].1, "{totals:?}");
+    assert!(
+        totals[0].1 > totals[1].1 && totals[1].1 > totals[2].1,
+        "{totals:?}"
+    );
 }
 
 #[test]
@@ -62,10 +65,14 @@ fn kernels_verify_on_a_two_group_cluster() {
         .build()
         .expect("valid config");
     let mut cluster = Cluster::new(cfg.clone(), SimParams::default());
-    Axpy::new(1024, 9).run(&mut cluster, 50_000_000).expect("axpy");
+    Axpy::new(1024, 9)
+        .run(&mut cluster, 50_000_000)
+        .expect("axpy");
 
     let mut cluster = Cluster::new(cfg.clone(), SimParams::default());
-    DotProduct::new(512).run(&mut cluster, 50_000_000).expect("dotprod");
+    DotProduct::new(512)
+        .run(&mut cluster, 50_000_000)
+        .expect("dotprod");
 
     let mut cluster = Cluster::new(cfg, SimParams::default());
     Conv2d::new(18, 18, [1, 0, 1, 0, 1, 0, 1, 0, 1])
@@ -99,7 +106,9 @@ fn simulator_statistics_are_conserved() {
     // Retired instructions and access counts must be consistent across
     // the stats aggregation.
     let mut cluster = cluster_16(16);
-    Axpy::new(1024, 3).run(&mut cluster, 50_000_000).expect("axpy");
+    Axpy::new(1024, 3)
+        .run(&mut cluster, 50_000_000)
+        .expect("axpy");
     let stats = cluster.stats();
     let per_core_sum: u64 = stats.cores.iter().map(|c| c.retired).sum();
     assert_eq!(per_core_sum, stats.total_retired());

@@ -21,10 +21,7 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
             rd,
             imm: imm & 0xffff_f000
         }),
-        (r(), -(1i32 << 20)..(1i32 << 20)).prop_map(|(rd, o)| Instr::Jal {
-            rd,
-            offset: o & !1
-        }),
+        (r(), -(1i32 << 20)..(1i32 << 20)).prop_map(|(rd, o)| Instr::Jal { rd, offset: o & !1 }),
         (r(), r(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
         (
             prop_oneof![
@@ -57,14 +54,24 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
             r(),
             -2048i32..2048
         )
-            .prop_map(|(op, rd, rs1, offset)| Instr::Load { op, rd, rs1, offset }),
+            .prop_map(|(op, rd, rs1, offset)| Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset
+            }),
         (
             prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
             r(),
             r(),
             -2048i32..2048
         )
-            .prop_map(|(op, rs2, rs1, offset)| Instr::Store { op, rs2, rs1, offset }),
+            .prop_map(|(op, rs2, rs1, offset)| Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset
+            }),
         (
             prop_oneof![
                 Just(AluOp::Add),
@@ -155,10 +162,16 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
             rs1,
             rs2: Reg::ZERO,
         }),
-        (r(), r(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Instr::LwPostInc { rd, rs1, offset }),
-        (r(), r(), -2048i32..2048)
-            .prop_map(|(rs2, rs1, offset)| Instr::SwPostInc { rs2, rs1, offset }),
+        (r(), r(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::LwPostInc {
+            rd,
+            rs1,
+            offset
+        }),
+        (r(), r(), -2048i32..2048).prop_map(|(rs2, rs1, offset)| Instr::SwPostInc {
+            rs2,
+            rs1,
+            offset
+        }),
         Just(Instr::Wfi),
         Just(Instr::Fence),
     ]

@@ -118,28 +118,45 @@ fn program_strategy() -> impl Strategy<Value = Program> {
                 let counter = Reg::new(31);
                 let safe = Reg::new(30);
                 match i {
-                    Instr::Op { op, rd, rs1, rs2 } if rd == counter => {
-                        Instr::Op { op, rd: safe, rs1, rs2 }
-                    }
-                    Instr::OpImm { op, rd, rs1, imm } if rd == counter => {
-                        Instr::OpImm { op, rd: safe, rs1, imm }
-                    }
-                    Instr::Mul { op, rd, rs1, rs2 } if rd == counter => {
-                        Instr::Mul { op, rd: safe, rs1, rs2 }
-                    }
+                    Instr::Op { op, rd, rs1, rs2 } if rd == counter => Instr::Op {
+                        op,
+                        rd: safe,
+                        rs1,
+                        rs2,
+                    },
+                    Instr::OpImm { op, rd, rs1, imm } if rd == counter => Instr::OpImm {
+                        op,
+                        rd: safe,
+                        rs1,
+                        imm,
+                    },
+                    Instr::Mul { op, rd, rs1, rs2 } if rd == counter => Instr::Mul {
+                        op,
+                        rd: safe,
+                        rs1,
+                        rs2,
+                    },
                     Instr::Mac { rd, rs1, rs2 } if rd == counter => {
                         Instr::Mac { rd: safe, rs1, rs2 }
                     }
-                    Instr::Xpulp { op, rd, rs1, rs2 } if rd == counter => {
-                        Instr::Xpulp { op, rd: safe, rs1, rs2 }
-                    }
-                    Instr::Load { op, rd, rs1, offset } if rd == counter => {
-                        Instr::Load { op, rd: safe, rs1, offset }
-                    }
-                    Instr::Lui { rd, .. } if rd == counter => Instr::Lui {
+                    Instr::Xpulp { op, rd, rs1, rs2 } if rd == counter => Instr::Xpulp {
+                        op,
                         rd: safe,
-                        imm: 0,
+                        rs1,
+                        rs2,
                     },
+                    Instr::Load {
+                        op,
+                        rd,
+                        rs1,
+                        offset,
+                    } if rd == counter => Instr::Load {
+                        op,
+                        rd: safe,
+                        rs1,
+                        offset,
+                    },
+                    Instr::Lui { rd, .. } if rd == counter => Instr::Lui { rd: safe, imm: 0 },
                     other => other,
                 }
             };

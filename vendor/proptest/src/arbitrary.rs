@@ -1,0 +1,87 @@
+//! The [`Arbitrary`] trait and [`any`], mirroring `proptest::arbitrary`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy generating arbitrary values of this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `A`, mirroring `proptest::arbitrary::any`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-range strategy for primitive integers and `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullRange<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty => $from:expr),* $(,)?) => {$(
+        impl Strategy for FullRange<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let raw = rng.next_u64();
+                let convert: fn(u64) -> $ty = $from;
+                convert(raw)
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = FullRange<$ty>;
+
+            fn arbitrary() -> Self::Strategy {
+                FullRange::default()
+            }
+        }
+    )*};
+}
+
+arbitrary_ints! {
+    u8 => |raw| raw as u8,
+    u16 => |raw| raw as u16,
+    u32 => |raw| raw as u32,
+    u64 => |raw| raw,
+    usize => |raw| raw as usize,
+    i8 => |raw| raw as i8,
+    i16 => |raw| raw as i16,
+    i32 => |raw| raw as i32,
+    i64 => |raw| raw as i64,
+    isize => |raw| raw as isize,
+}
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u32_covers_high_bits() {
+        let mut rng = TestRng::deterministic("any-u32");
+        let strategy = any::<u32>();
+        assert!((0..1000).any(|_| strategy.generate(&mut rng) > u32::MAX / 2));
+    }
+}

@@ -1,0 +1,43 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec`s with lengths drawn from a range; built by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates `Vec`s of `element` values with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_stay_in_range() {
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..200 {
+            let v = vec(0u8..10, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Numeric strategy helpers. Integer `Range`s implement
+//! [`Strategy`](crate::strategy::Strategy) directly (see
+//! [`crate::strategy`]); this module exists to mirror the real crate's
+//! module layout for imports like `proptest::num`.
+
+pub use crate::arbitrary::FullRange;

@@ -1,0 +1,33 @@
+//! Offline stub of `serde`.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors a minimal serde stand-in. The workspace only uses serde
+//! for `#[derive(Serialize, Deserialize)]` markers and trait bounds — it
+//! never serializes through a data format (no serde_json / bincode). The
+//! stub therefore blanket-implements both traits for every type and
+//! re-exports no-op derive macros, which keeps every `derive` attribute and
+//! `T: Serialize` bound in the workspace compiling unchanged.
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Sized {}
+impl<T> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` far enough for `Serialize` imports.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This workspace vendors a minimal stand-in for serde so it builds with no
+//! network access. Nothing in the workspace actually serializes data (there
+//! is no serde_json or bincode dependency); `#[derive(Serialize)]` is used
+//! purely so downstream users *could* serialize reports. The sibling `serde`
+//! stub blanket-implements its marker traits for every type, so these
+//! derives only need to swallow the attribute syntax and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
