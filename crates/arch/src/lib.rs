@@ -45,7 +45,7 @@ pub mod latency;
 pub mod mmap;
 pub mod topology;
 
-pub use address::{AddressMap, BankLocation, MemoryRegion};
+pub use address::{AddressMap, BankLocation, BankRemap, MemoryRegion, RemapError};
 pub use capacity::SpmCapacity;
 pub use config::{ClusterConfig, ClusterConfigBuilder, ConfigError};
 pub use ids::{BankId, CoreId, GlobalBankId, GlobalCoreId, GroupId, TileId, TileInGroup};

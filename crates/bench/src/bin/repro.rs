@@ -17,13 +17,22 @@
 //! snapshot, a Perfetto-loadable `trace.json` of the measurement phase
 //! spans, and a `BENCH_repro.json` summary (cycle counts, cycles/MAC,
 //! wall-clock).
+//!
+//! With `--faults SEED[:RATE]`, a degraded run is measured on top of the
+//! selected targets: the deterministic fault plan generated from the seed
+//! (and optional rate, default 1e-6) is injected into a compute-phase
+//! cluster, and the measured slowdown is propagated into the Figure 6
+//! 8 MiB / 16 B-per-cycle point. `--watchdog N` arms the forward-progress
+//! watchdog (deadlock detection) for that degraded run. With
+//! `--artifacts`, the run additionally exports `resilience.json` and the
+//! raw `fault_report.json`.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use mempool::dse::DesignSpace;
 use mempool::experiments::{
-    ablations, Claims, ClusterLevel, Evaluation, Fig6, Fig7, Fig8, Fig9, Table1, Table2,
+    ablations, Claims, ClusterLevel, Evaluation, Fig6, Fig7, Fig8, Fig9, Resilience, Table1, Table2,
 };
 use mempool_arch::SpmCapacity;
 use mempool_kernels::matmul::PhaseModel;
@@ -48,21 +57,59 @@ const KNOWN_TARGETS: [&str; 13] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--measure] [--artifacts DIR] \
+        "usage: repro [--measure] [--artifacts DIR] [--faults SEED[:RATE]] [--watchdog N] \
          [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]...\n\
          \n\
-         --measure        re-measure workload constants on the simulator\n\
-         --artifacts DIR  write JSON/CSV artifacts (figure data, metrics,\n\
-                          Perfetto trace, BENCH_repro.json summary) to DIR"
+         --measure            re-measure workload constants on the simulator\n\
+         --artifacts DIR      write JSON/CSV artifacts (figure data, metrics,\n\
+                              Perfetto trace, BENCH_repro.json summary) to DIR\n\
+         --faults SEED[:RATE] measure a degraded run under the deterministic\n\
+                              fault plan from SEED (rate default 1e-6) and\n\
+                              propagate it into the Figure 6 headline point\n\
+         --watchdog N         arm the deadlock watchdog (N cycles without\n\
+                              forward progress) for the degraded run"
     );
     ExitCode::FAILURE
 }
 
-/// Parsed command line: the targets to produce and the two options.
+/// Default fault rate when `--faults SEED` omits the `:RATE` suffix.
+const DEFAULT_FAULT_RATE: f64 = 1e-6;
+
+/// Parsed command line: the targets to produce and the options.
+#[derive(Debug)]
 struct Options {
     targets: Vec<String>,
     measure: bool,
     artifacts: Option<String>,
+    faults: Option<(u64, f64)>,
+    watchdog: Option<u64>,
+}
+
+/// Parses `SEED[:RATE]`. Both parts are validated strictly: a non-numeric
+/// seed or rate is a usage error, not a panic or a silent default.
+fn parse_faults(value: &str) -> Result<(u64, f64), String> {
+    let (seed_text, rate_text) = match value.split_once(':') {
+        Some((seed, rate)) => (seed, Some(rate)),
+        None => (value, None),
+    };
+    let seed: u64 = seed_text
+        .parse()
+        .map_err(|_| format!("--faults: seed must be an unsigned integer, got {seed_text:?}"))?;
+    let rate = match rate_text {
+        Some(text) => {
+            let rate: f64 = text
+                .parse()
+                .map_err(|_| format!("--faults: rate must be a number, got {text:?}"))?;
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(format!(
+                    "--faults: rate must be finite and non-negative, got {text}"
+                ));
+            }
+            rate
+        }
+        None => DEFAULT_FAULT_RATE,
+    };
+    Ok((seed, rate))
 }
 
 /// Strict parser: every `--flag` must be recognized and every positional
@@ -72,6 +119,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut targets = Vec::new();
     let mut measure = false;
     let mut artifacts = None;
+    let mut faults = None;
+    let mut watchdog = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -82,6 +131,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 // silently drops the measure flag.
                 Some(dir) if !dir.starts_with("--") => artifacts = Some(dir.clone()),
                 _ => return Err("--artifacts requires a directory argument".to_string()),
+            },
+            "--faults" => match it.next() {
+                Some(value) if !value.starts_with("--") => {
+                    faults = Some(parse_faults(value)?);
+                }
+                _ => return Err("--faults requires a SEED[:RATE] argument".to_string()),
+            },
+            "--watchdog" => match it.next() {
+                Some(value) if !value.starts_with("--") => {
+                    watchdog = Some(value.parse::<u64>().map_err(|_| {
+                        format!("--watchdog: threshold must be an unsigned integer, got {value:?}")
+                    })?);
+                }
+                _ => return Err("--watchdog requires a cycle-count argument".to_string()),
             },
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}"));
@@ -101,6 +164,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         targets,
         measure,
         artifacts,
+        faults,
+        watchdog,
     })
 }
 
@@ -256,8 +321,35 @@ fn main() -> ExitCode {
         }
     }
 
+    let resilience = match opts.faults {
+        Some((seed, rate)) => {
+            eprintln!("measuring degraded run (seed {seed}, rate {rate:.1e}) ...");
+            match Resilience::with_model(model, seed, rate, opts.watchdog) {
+                Ok(r) => {
+                    if !emit("resilience", r.to_text(), Some(r.to_json())) {
+                        return ExitCode::FAILURE;
+                    }
+                    Some(r)
+                }
+                Err(e) => {
+                    eprintln!("repro: degraded run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    if let (Some(art), Some(r)) = (artifacts.as_mut(), resilience.as_ref()) {
+        if let Err(e) = art.write_json("fault_report.json", &r.run().report.to_json()) {
+            eprintln!("repro: writing fault_report.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if let Some(art) = artifacts.as_mut() {
-        if let Err(e) = write_summary_artifacts(art, &obs, &model, &opts, wall_start) {
+        if let Err(e) =
+            write_summary_artifacts(art, &obs, &model, &opts, resilience.as_ref(), wall_start)
+        {
             eprintln!("repro: writing artifacts: {e}");
             return ExitCode::FAILURE;
         }
@@ -278,6 +370,7 @@ fn write_summary_artifacts(
     obs: &Obs,
     model: &PhaseModel,
     opts: &Options,
+    resilience: Option<&Resilience>,
     wall_start: Instant,
 ) -> std::io::Result<()> {
     let snapshot = obs.metrics.snapshot();
@@ -296,7 +389,7 @@ fn write_summary_artifacts(
             ])
         })
         .collect();
-    let summary = Json::obj([
+    let mut pairs = vec![
         ("bench", Json::str("repro")),
         (
             "targets",
@@ -307,15 +400,95 @@ fn write_summary_artifacts(
         ("cycles_per_mac", Json::Float(model.cycles_per_mac)),
         ("matmul_cycles_at_16B_per_cycle", Json::Arr(cycles)),
         ("span_count", Json::Int(obs.spans.len() as i64)),
-        (
-            "wall_clock_seconds",
-            Json::Float(wall_start.elapsed().as_secs_f64()),
-        ),
-        (
-            "artifacts",
-            Json::Arr(art.written().iter().map(Json::str).collect()),
-        ),
-    ]);
+    ];
+    // Degraded-vs-clean cycle delta for the headline Figure 6 point, so a
+    // fault-injected run's cost is recorded alongside the clean numbers.
+    if let Some(r) = resilience {
+        let run = r.run();
+        pairs.push((
+            "resilience",
+            Json::obj([
+                ("seed", Json::Int(run.seed as i64)),
+                ("rate", Json::Float(run.rate)),
+                ("clean_phase_cycles", Json::Int(run.clean_cycles as i64)),
+                (
+                    "degraded_phase_cycles",
+                    Json::Int(run.degraded_cycles as i64),
+                ),
+                ("phase_delta_cycles", Json::Int(run.delta_cycles())),
+                ("clean_fig6_speedup", Json::Float(r.clean_speedup())),
+                ("degraded_fig6_speedup", Json::Float(r.degraded_speedup())),
+                ("fig6_delta_cycles", Json::Float(r.fig6_delta_cycles())),
+            ]),
+        ));
+    }
+    pairs.push((
+        "wall_clock_seconds",
+        Json::Float(wall_start.elapsed().as_secs_f64()),
+    ));
+    pairs.push((
+        "artifacts",
+        Json::Arr(art.written().iter().map(Json::str).collect()),
+    ));
+    let summary = Json::obj(pairs);
     art.write_json("BENCH_repro.json", &summary)?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn faults_flag_parses_seed_and_rate() {
+        let opts = parse_args(&argv(&["fig6", "--faults", "42:1e-6"])).unwrap();
+        assert_eq!(opts.faults, Some((42, 1e-6)));
+    }
+
+    #[test]
+    fn faults_flag_defaults_the_rate() {
+        let opts = parse_args(&argv(&["--faults", "7"])).unwrap();
+        assert_eq!(opts.faults, Some((7, DEFAULT_FAULT_RATE)));
+    }
+
+    #[test]
+    fn non_numeric_seed_is_a_usage_error_not_a_panic() {
+        let err = parse_args(&argv(&["--faults", "abc"])).unwrap_err();
+        assert!(err.contains("seed must be an unsigned integer"), "{err}");
+    }
+
+    #[test]
+    fn non_numeric_rate_is_a_usage_error_not_a_panic() {
+        let err = parse_args(&argv(&["--faults", "42:xyz"])).unwrap_err();
+        assert!(err.contains("rate must be a number"), "{err}");
+    }
+
+    #[test]
+    fn negative_and_non_finite_rates_are_rejected() {
+        assert!(parse_args(&argv(&["--faults", "42:-1e-6"])).is_err());
+        assert!(parse_args(&argv(&["--faults", "42:inf"])).is_err());
+        assert!(parse_args(&argv(&["--faults", "42:nan"])).is_err());
+    }
+
+    #[test]
+    fn non_numeric_watchdog_is_a_usage_error_not_a_panic() {
+        let err = parse_args(&argv(&["--watchdog", "many"])).unwrap_err();
+        assert!(
+            err.contains("threshold must be an unsigned integer"),
+            "{err}"
+        );
+        let opts = parse_args(&argv(&["--watchdog", "2000000"])).unwrap();
+        assert_eq!(opts.watchdog, Some(2_000_000));
+    }
+
+    #[test]
+    fn a_following_flag_is_a_missing_argument() {
+        assert!(parse_args(&argv(&["--faults", "--measure"])).is_err());
+        assert!(parse_args(&argv(&["--watchdog", "--measure"])).is_err());
+        assert!(parse_args(&argv(&["--artifacts", "--measure"])).is_err());
+    }
 }

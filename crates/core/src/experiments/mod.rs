@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod resilience;
 pub mod table1;
 pub mod table2;
 
@@ -21,6 +22,7 @@ pub use fig6::Fig6;
 pub use fig7::Fig7;
 pub use fig8::Fig8;
 pub use fig9::Fig9;
+pub use resilience::Resilience;
 pub use table1::Table1;
 pub use table2::Table2;
 

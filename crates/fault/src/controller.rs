@@ -1,0 +1,307 @@
+//! Runtime fault state consumed by the simulator.
+//!
+//! A [`FaultController`] is compiled from a [`FaultPlan`] when faults are
+//! injected into a cluster. It splits the plan into *static* state (link
+//! health per tile, the stuck banks the cluster must remap before the run)
+//! and *timed* events (flips, hangs) delivered in cycle order, carries the
+//! SEC-DED [`EccState`], and accumulates the [`FaultReport`].
+
+use mempool_arch::{BankId, BankLocation, TileId};
+
+use crate::ecc::{EccOutcome, EccState};
+use crate::plan::{DeadLinkPolicy, FaultEvent, FaultPlan};
+use crate::report::{FaultReport, RemappedBank};
+
+/// Health of one tile's F2F link to its memory die.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LinkState {
+    /// Accesses proceed at nominal latency.
+    #[default]
+    Healthy,
+    /// Accesses succeed after a retry costing the carried extra cycles.
+    Degraded(u32),
+    /// Accesses fail (see [`DeadLinkPolicy`]).
+    Dead,
+}
+
+/// A timed fault due for application this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimedFault {
+    /// XOR `mask` into the stored word at `loc` and record it for ECC.
+    Flip {
+        /// Word the flip lands in.
+        loc: BankLocation,
+        /// XOR mask to apply.
+        mask: u32,
+    },
+    /// Hang the given core (it stops fetching forever).
+    Hang {
+        /// Global core index.
+        core: u32,
+    },
+}
+
+/// Runtime fault state: link health, the timed-event queue, ECC state,
+/// and the accumulating report.
+#[derive(Debug, Clone)]
+pub struct FaultController {
+    links: Vec<LinkState>,
+    /// Timed events sorted by cycle; `cursor` marks the next undelivered.
+    timed: Vec<(u64, TimedFault)>,
+    cursor: usize,
+    ecc: EccState,
+    stuck: Vec<(TileId, BankId)>,
+    dead_link_policy: DeadLinkPolicy,
+    report: FaultReport,
+}
+
+impl FaultController {
+    /// Compiles a plan for a cluster with `num_tiles` tiles. Events whose
+    /// tile/core lies outside the geometry are counted but inert.
+    pub fn new(plan: &FaultPlan, num_tiles: u32) -> Self {
+        let mut links = vec![LinkState::Healthy; num_tiles as usize];
+        let mut timed = Vec::new();
+        let mut stuck = Vec::new();
+        let mut report = FaultReport {
+            seed: plan.seed(),
+            ..Default::default()
+        };
+        for event in plan.events() {
+            match *event {
+                FaultEvent::LinkDegraded {
+                    tile,
+                    extra_latency,
+                } => {
+                    report.links_degraded += 1;
+                    if let Some(slot) = links.get_mut(tile.index()) {
+                        // A dead link stays dead even if also degraded.
+                        if *slot != LinkState::Dead {
+                            *slot = LinkState::Degraded(extra_latency.max(1));
+                        }
+                    }
+                }
+                FaultEvent::LinkDead { tile } => {
+                    report.links_dead += 1;
+                    if let Some(slot) = links.get_mut(tile.index()) {
+                        *slot = LinkState::Dead;
+                    }
+                }
+                FaultEvent::StuckBank { tile, bank } => {
+                    report.stuck_banks += 1;
+                    stuck.push((tile, bank));
+                }
+                FaultEvent::TransientFlip { cycle, loc, mask } => {
+                    report.transient_flips += 1;
+                    timed.push((cycle, TimedFault::Flip { loc, mask }));
+                }
+                FaultEvent::CoreHang { cycle, core } => {
+                    report.core_hangs += 1;
+                    timed.push((cycle, TimedFault::Hang { core: core.0 }));
+                }
+            }
+        }
+        timed.sort_by_key(|&(cycle, _)| cycle);
+        FaultController {
+            links,
+            timed,
+            cursor: 0,
+            ecc: EccState::new(),
+            stuck,
+            dead_link_policy: plan.dead_link_policy(),
+            report,
+        }
+    }
+
+    /// The stuck banks the cluster must remap before the run starts.
+    pub fn stuck_banks(&self) -> &[(TileId, BankId)] {
+        &self.stuck
+    }
+
+    /// Health of a tile's F2F link.
+    pub fn link_state(&self, tile: TileId) -> LinkState {
+        self.links
+            .get(tile.index())
+            .copied()
+            .unwrap_or(LinkState::Healthy)
+    }
+
+    /// What happens to accesses through dead links.
+    pub fn dead_link_policy(&self) -> DeadLinkPolicy {
+        self.dead_link_policy
+    }
+
+    /// Drains the timed events due at or before `cycle`, in cycle order.
+    pub fn take_due(&mut self, cycle: u64) -> Vec<TimedFault> {
+        let mut due = Vec::new();
+        while let Some(&(at, fault)) = self.timed.get(self.cursor) {
+            if at > cycle {
+                break;
+            }
+            due.push(fault);
+            self.cursor += 1;
+        }
+        due
+    }
+
+    /// Records an applied flip in the ECC state.
+    pub fn note_flip(&mut self, loc: BankLocation, mask: u32) {
+        self.ecc.note_flip(loc, mask);
+    }
+
+    /// ECC check on a read of `stored` at `loc`; corrections are counted.
+    pub fn ecc_read(&mut self, loc: BankLocation, stored: u32) -> EccOutcome {
+        let outcome = self.ecc.on_read(loc, stored);
+        if matches!(outcome, EccOutcome::Corrected { .. }) {
+            self.report.ecc_corrected += 1;
+        }
+        outcome
+    }
+
+    /// Pending error mask on a word, without consuming it.
+    pub fn pending_mask(&self, loc: BankLocation) -> Option<u32> {
+        self.ecc.pending_mask(loc)
+    }
+
+    /// Whether any word has a pending error mask (fast-path guard for
+    /// write-side clearing).
+    pub fn has_pending_errors(&self) -> bool {
+        self.ecc.pending_words() > 0
+    }
+
+    /// Clears the pending mask on a written word.
+    pub fn ecc_clear(&mut self, loc: BankLocation) {
+        self.ecc.clear(loc);
+    }
+
+    /// Records a spare-bank substitution.
+    pub fn record_remap(&mut self, tile: TileId, from: BankId, to: BankId) {
+        self.report.remapped.push(RemappedBank {
+            tile: tile.0,
+            from_bank: from.0,
+            to_bank: to.0,
+        });
+    }
+
+    /// Records one retried access costing `extra` cycles.
+    pub fn record_retry(&mut self, extra: u64) {
+        self.report.retried_accesses += 1;
+        self.report.retry_cycles += extra;
+    }
+
+    /// Records a request dropped by a dead link.
+    pub fn record_blackhole(&mut self) {
+        self.report.blackholed_requests += 1;
+    }
+
+    /// Snapshot of the report, including currently latent ECC errors.
+    pub fn report(&self) -> FaultReport {
+        let mut report = self.report.clone();
+        report.ecc_pending = self.ecc.pending_words() as u64;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool_arch::GlobalCoreId;
+
+    fn loc(tile: u32, bank: u32, word: u32) -> BankLocation {
+        BankLocation {
+            tile: TileId(tile),
+            bank: BankId(bank),
+            word,
+        }
+    }
+
+    fn plan_with_everything() -> FaultPlan {
+        let mut plan = FaultPlan::new(99);
+        plan.push(FaultEvent::LinkDegraded {
+            tile: TileId(1),
+            extra_latency: 6,
+        });
+        plan.push(FaultEvent::LinkDead { tile: TileId(2) });
+        plan.push(FaultEvent::StuckBank {
+            tile: TileId(0),
+            bank: BankId(3),
+        });
+        plan.push(FaultEvent::TransientFlip {
+            cycle: 10,
+            loc: loc(0, 0, 7),
+            mask: 1,
+        });
+        plan.push(FaultEvent::TransientFlip {
+            cycle: 5,
+            loc: loc(0, 1, 2),
+            mask: 2,
+        });
+        plan.push(FaultEvent::CoreHang {
+            cycle: 20,
+            core: GlobalCoreId::new(3),
+        });
+        plan
+    }
+
+    #[test]
+    fn compiles_static_state_and_counts() {
+        let ctrl = FaultController::new(&plan_with_everything(), 4);
+        assert_eq!(ctrl.link_state(TileId(0)), LinkState::Healthy);
+        assert_eq!(ctrl.link_state(TileId(1)), LinkState::Degraded(6));
+        assert_eq!(ctrl.link_state(TileId(2)), LinkState::Dead);
+        assert_eq!(ctrl.link_state(TileId(99)), LinkState::Healthy);
+        assert_eq!(ctrl.stuck_banks(), &[(TileId(0), BankId(3))]);
+        let report = ctrl.report();
+        assert_eq!(report.total_injected(), 6);
+        assert_eq!(report.seed, 99);
+    }
+
+    #[test]
+    fn timed_events_drain_in_cycle_order() {
+        let mut ctrl = FaultController::new(&plan_with_everything(), 4);
+        assert!(ctrl.take_due(4).is_empty());
+        let at5 = ctrl.take_due(5);
+        assert_eq!(at5.len(), 1);
+        assert!(matches!(at5[0], TimedFault::Flip { mask: 2, .. }));
+        // Jumping the clock past both remaining events delivers both.
+        let rest = ctrl.take_due(100);
+        assert_eq!(rest.len(), 2);
+        assert!(matches!(rest[0], TimedFault::Flip { mask: 1, .. }));
+        assert!(matches!(rest[1], TimedFault::Hang { core: 3 }));
+        assert!(ctrl.take_due(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn dead_link_survives_degradation_order() {
+        let mut plan = FaultPlan::new(1);
+        plan.push(FaultEvent::LinkDead { tile: TileId(0) });
+        plan.push(FaultEvent::LinkDegraded {
+            tile: TileId(0),
+            extra_latency: 3,
+        });
+        let ctrl = FaultController::new(&plan, 1);
+        assert_eq!(ctrl.link_state(TileId(0)), LinkState::Dead);
+    }
+
+    #[test]
+    fn report_tracks_runtime_counters_and_latent_errors() {
+        let mut ctrl = FaultController::new(&FaultPlan::new(7), 1);
+        ctrl.record_retry(5);
+        ctrl.record_retry(5);
+        ctrl.record_blackhole();
+        ctrl.record_remap(TileId(0), BankId(1), BankId(4));
+        ctrl.note_flip(loc(0, 0, 0), 1);
+        ctrl.note_flip(loc(0, 0, 1), 1);
+        // Reading one corrects it; the other stays latent.
+        assert!(matches!(
+            ctrl.ecc_read(loc(0, 0, 0), 1),
+            EccOutcome::Corrected { value: 0 }
+        ));
+        let report = ctrl.report();
+        assert_eq!(report.retried_accesses, 2);
+        assert_eq!(report.retry_cycles, 10);
+        assert_eq!(report.blackholed_requests, 1);
+        assert_eq!(report.remapped.len(), 1);
+        assert_eq!(report.ecc_corrected, 1);
+        assert_eq!(report.ecc_pending, 1);
+    }
+}

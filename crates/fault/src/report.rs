@@ -1,0 +1,166 @@
+//! The fault report: what was injected and what the resilience machinery
+//! did about it.
+
+use std::fmt;
+
+use mempool_obs::Json;
+
+/// One spare-bank substitution performed by the remap policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemappedBank {
+    /// Tile holding the faulted bank.
+    pub tile: u32,
+    /// The faulted (logical) bank.
+    pub from_bank: u32,
+    /// The spare bank now backing it.
+    pub to_bank: u32,
+}
+
+/// Summary of a fault-injected run, exported as an artifact by `repro`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Seed of the fault plan.
+    pub seed: u64,
+    /// Injected degraded (retry-path) F2F links.
+    pub links_degraded: u64,
+    /// Injected dead (open) F2F links.
+    pub links_dead: u64,
+    /// Injected stuck banks.
+    pub stuck_banks: u64,
+    /// Injected transient bit flips.
+    pub transient_flips: u64,
+    /// Injected core hangs.
+    pub core_hangs: u64,
+    /// Spare-bank substitutions performed before the run.
+    pub remapped: Vec<RemappedBank>,
+    /// Accesses that went through a degraded link's retry path.
+    pub retried_accesses: u64,
+    /// Extra cycles spent in retries (summed over all cores).
+    pub retry_cycles: u64,
+    /// Single-bit errors corrected (and scrubbed) by the ECC model.
+    pub ecc_corrected: u64,
+    /// Flipped words never read before the run ended (errors still
+    /// latent in storage).
+    pub ecc_pending: u64,
+    /// Requests dropped by dead links under the black-hole policy.
+    pub blackholed_requests: u64,
+}
+
+impl FaultReport {
+    /// Total injected fault events.
+    pub fn total_injected(&self) -> u64 {
+        self.links_degraded
+            + self.links_dead
+            + self.stuck_banks
+            + self.transient_flips
+            + self.core_hangs
+    }
+
+    /// Serializes the report.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::Int(self.seed as i64)),
+            (
+                "injected",
+                Json::obj([
+                    ("links_degraded", Json::Int(self.links_degraded as i64)),
+                    ("links_dead", Json::Int(self.links_dead as i64)),
+                    ("stuck_banks", Json::Int(self.stuck_banks as i64)),
+                    ("transient_flips", Json::Int(self.transient_flips as i64)),
+                    ("core_hangs", Json::Int(self.core_hangs as i64)),
+                    ("total", Json::Int(self.total_injected() as i64)),
+                ]),
+            ),
+            (
+                "remapped_banks",
+                Json::Arr(
+                    self.remapped
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("tile", Json::Int(r.tile as i64)),
+                                ("from_bank", Json::Int(r.from_bank as i64)),
+                                ("to_bank", Json::Int(r.to_bank as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("retried_accesses", Json::Int(self.retried_accesses as i64)),
+            ("retry_cycles", Json::Int(self.retry_cycles as i64)),
+            ("ecc_corrected", Json::Int(self.ecc_corrected as i64)),
+            ("ecc_pending", Json::Int(self.ecc_pending as i64)),
+            (
+                "blackholed_requests",
+                Json::Int(self.blackholed_requests as i64),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fault report (seed {})", self.seed)?;
+        writeln!(
+            f,
+            "  injected: {} degraded links, {} dead links, {} stuck banks, \
+             {} transient flips, {} core hangs",
+            self.links_degraded,
+            self.links_dead,
+            self.stuck_banks,
+            self.transient_flips,
+            self.core_hangs
+        )?;
+        writeln!(f, "  banks remapped to spares: {}", self.remapped.len())?;
+        writeln!(
+            f,
+            "  retries: {} accesses, {} extra cycles",
+            self.retried_accesses, self.retry_cycles
+        )?;
+        write!(
+            f,
+            "  ecc: {} corrected, {} latent; black-holed requests: {}",
+            self.ecc_corrected, self.ecc_pending, self.blackholed_requests
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_and_display_carry_all_counters() {
+        let report = FaultReport {
+            seed: 42,
+            links_degraded: 2,
+            stuck_banks: 1,
+            transient_flips: 3,
+            remapped: vec![RemappedBank {
+                tile: 0,
+                from_bank: 5,
+                to_bank: 16,
+            }],
+            retried_accesses: 10,
+            retry_cycles: 40,
+            ecc_corrected: 1,
+            ecc_pending: 2,
+            ..Default::default()
+        };
+        assert_eq!(report.total_injected(), 6);
+        let json = report.to_json();
+        assert_eq!(json.get("seed").unwrap().as_int(), Some(42));
+        assert_eq!(
+            json.get("injected").unwrap().get("total").unwrap().as_int(),
+            Some(6)
+        );
+        assert_eq!(
+            json.get("remapped_banks").unwrap().as_arr().unwrap().len(),
+            1
+        );
+        let text = report.to_string();
+        assert!(text.contains("seed 42"));
+        assert!(text.contains("1 stuck banks"));
+        assert!(text.contains("40 extra cycles"));
+    }
+}

@@ -218,7 +218,7 @@ impl BlockedGemv {
                 true,
             )?;
             let start = cluster.cycle();
-            cluster.resume_all(0);
+            cluster.resume_all(0)?;
             cluster.run(u64::MAX / 2)?;
             compute += cluster.cycle() - start;
             memory += cluster.dma_tile(

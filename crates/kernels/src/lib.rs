@@ -21,7 +21,9 @@
 //!   [`transpose`]) exercising the same code paths, used by the examples,
 //!   plus the memory-bound [`stencil`] phase model;
 //! * central and two-level tree [`barrier`]s built from the A-extension
-//!   atomics, and workload [`characterize`]-ation.
+//!   atomics, and workload [`characterize`]-ation;
+//! * degraded-mode [`resilience`] runs: the same compute phase clean and
+//!   under an injected fault plan, with the slowdown attributed exactly.
 //!
 //! ## Example
 //!
@@ -47,6 +49,7 @@ pub mod dotprod;
 pub mod gemv;
 pub mod matmul;
 pub mod measure;
+pub mod resilience;
 pub mod stencil;
 pub mod transpose;
 pub mod workload;

@@ -533,7 +533,7 @@ impl BlockedMatmul {
                         true,
                     )?;
                     let start = cluster.cycle();
-                    cluster.resume_all(0);
+                    cluster.resume_all(0)?;
                     cluster.run(u64::MAX / 2)?;
                     cycles.compute += cluster.cycle() - start;
                 }
@@ -705,7 +705,7 @@ impl DoubleBufferedMatmul {
                     let start = cluster.cycle();
                     cluster.load_program(programs[cur].clone());
                     cluster.preload_icaches();
-                    cluster.resume_all(0);
+                    cluster.resume_all(0)?;
                     cluster.run(u64::MAX / 2)?;
                     cycles.compute += cluster.cycle() - start;
                     if let Some(done) = prefetch_done {

@@ -11,7 +11,12 @@
 //!   request ports;
 //! * `icache` — instruction-fetch stalls (miss slot + refill bubbles);
 //! * `branch` — taken-branch bubbles;
-//! * `halted` — parked at `wfi` (barrier wait or end of kernel);
+//! * `fault_retry` — extra cycles spent retrying accesses through
+//!   degraded F2F links (fault-injection runs only);
+//! * `ecc` — SEC-DED single-bit correction penalties (fault-injection
+//!   runs only);
+//! * `halted` — parked at `wfi` (barrier wait, end of kernel, or a core
+//!   hung by an injected fault);
 //! * `offchip` — cycles the whole cluster spent in synchronous DMA
 //!   transfers / waits, during which cores do not step.
 //!
@@ -39,6 +44,10 @@ pub struct CycleBuckets {
     pub icache: u64,
     /// Taken-branch bubble cycles.
     pub branch: u64,
+    /// Retry cycles through degraded F2F links (fault injection).
+    pub fault_retry: u64,
+    /// SEC-DED single-bit correction penalty cycles (fault injection).
+    pub ecc: u64,
     /// Cycles parked at `wfi`.
     pub halted: u64,
     /// Cycles the cluster spent in synchronous off-chip transfers.
@@ -53,18 +62,22 @@ impl CycleBuckets {
             + self.structural
             + self.icache
             + self.branch
+            + self.fault_retry
+            + self.ecc
             + self.halted
             + self.offchip
     }
 
     /// `(label, value)` pairs in presentation order.
-    pub fn entries(&self) -> [(&'static str, u64); 7] {
+    pub fn entries(&self) -> [(&'static str, u64); 9] {
         [
             ("issue", self.issue),
             ("scoreboard", self.scoreboard),
             ("structural", self.structural),
             ("icache", self.icache),
             ("branch", self.branch),
+            ("fault_retry", self.fault_retry),
+            ("ecc", self.ecc),
             ("halted", self.halted),
             ("offchip", self.offchip),
         ]
@@ -76,6 +89,8 @@ impl CycleBuckets {
         self.structural += other.structural;
         self.icache += other.icache;
         self.branch += other.branch;
+        self.fault_retry += other.fault_retry;
+        self.ecc += other.ecc;
         self.halted += other.halted;
         self.offchip += other.offchip;
     }
@@ -104,6 +119,10 @@ pub struct CoreCycleInput {
     pub icache: u64,
     /// Taken-branch bubble cycles.
     pub branch: u64,
+    /// Retry cycles through degraded F2F links (fault injection).
+    pub fault_retry: u64,
+    /// SEC-DED correction penalty cycles (fault injection).
+    pub ecc: u64,
     /// Cycles parked at `wfi`.
     pub halted: u64,
 }
@@ -210,8 +229,14 @@ impl AttributionReport {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let stepped =
-                    c.issue + c.scoreboard + c.structural + c.icache + c.branch + c.halted;
+                let stepped = c.issue
+                    + c.scoreboard
+                    + c.structural
+                    + c.icache
+                    + c.branch
+                    + c.fault_retry
+                    + c.ecc
+                    + c.halted;
                 assert!(
                     stepped <= cycles,
                     "core {i}: accounted {stepped} cycles out of {cycles}"
@@ -222,6 +247,8 @@ impl AttributionReport {
                     structural: c.structural,
                     icache: c.icache,
                     branch: c.branch,
+                    fault_retry: c.fault_retry,
+                    ecc: c.ecc,
                     halted: c.halted,
                     offchip: cycles - stepped,
                 }
@@ -387,7 +414,9 @@ mod tests {
                 structural: 5,
                 icache: 15,
                 branch: 5,
-                halted: 10,
+                fault_retry: 3,
+                ecc: 2,
+                halted: 5,
             },
             CoreCycleInput {
                 issue: 20,
@@ -500,6 +529,8 @@ mod tests {
             "structural",
             "icache",
             "branch",
+            "fault_retry",
+            "ecc",
             "halted",
             "offchip",
         ] {

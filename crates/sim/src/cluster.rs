@@ -19,7 +19,12 @@
 use std::fmt;
 
 use mempool_arch::{
-    AccessClass, BankLocation, ClusterConfig, GlobalCoreId, LatencyModel, MemoryRegion, Topology,
+    AccessClass, BankLocation, ClusterConfig, GlobalCoreId, LatencyModel, MemoryRegion, RemapError,
+    TileId, Topology,
+};
+use mempool_fault::{
+    CoreDiagnostic, DeadLinkPolicy, EccOutcome, FaultController, FaultPlan, FaultReport, LinkState,
+    TimedFault, Watchdog,
 };
 use mempool_isa::exec::{self, Issue, MemAccessKind, MemWidth};
 use mempool_isa::{Program, Reg};
@@ -52,6 +57,39 @@ pub enum SimError {
     },
     /// No program is loaded.
     NoProgram,
+    /// A core was resumed while it still had outstanding transactions
+    /// (e.g. a request black-holed by a dead F2F link).
+    ResumeWithOutstanding {
+        /// The offending core.
+        core: GlobalCoreId,
+        /// Its outstanding-transaction count.
+        outstanding: u32,
+    },
+    /// An access targeted a tile behind a dead (open) F2F link, under the
+    /// fail-fast [`DeadLinkPolicy::Error`] policy.
+    LinkDead {
+        /// Tile whose vertical link is open.
+        tile: TileId,
+    },
+    /// The SEC-DED logic detected a multi-bit, uncorrectable error.
+    EccUncorrectable {
+        /// Word the error was detected in.
+        loc: BankLocation,
+        /// The accumulated error mask.
+        mask: u32,
+    },
+    /// The forward-progress watchdog saw no retired instruction and no
+    /// delivered memory response anywhere in the cluster for its whole
+    /// threshold window.
+    Deadlock {
+        /// Cycles since the last forward progress.
+        stalled_for: u64,
+        /// Per-core state snapshot at detection time.
+        diagnostics: Vec<CoreDiagnostic>,
+    },
+    /// The spare-bank remap policy could not take a faulted bank out of
+    /// service.
+    Remap(RemapError),
 }
 
 impl fmt::Display for SimError {
@@ -65,6 +103,30 @@ impl fmt::Display for SimError {
                 write!(f, "cluster did not halt within {cycles} cycles")
             }
             SimError::NoProgram => f.write_str("no program loaded"),
+            SimError::ResumeWithOutstanding { core, outstanding } => write!(
+                f,
+                "core {core} resumed with {outstanding} outstanding transaction(s)"
+            ),
+            SimError::LinkDead { tile } => {
+                write!(f, "access through dead F2F link of tile {tile}")
+            }
+            SimError::EccUncorrectable { loc, mask } => {
+                write!(
+                    f,
+                    "uncorrectable multi-bit error at {loc} (mask {mask:#010x})"
+                )
+            }
+            SimError::Deadlock {
+                stalled_for,
+                diagnostics,
+            } => {
+                writeln!(f, "deadlock: no forward progress for {stalled_for} cycles")?;
+                for diag in diagnostics {
+                    writeln!(f, "  {diag}")?;
+                }
+                Ok(())
+            }
+            SimError::Remap(e) => write!(f, "bank remap failed: {e}"),
         }
     }
 }
@@ -74,6 +136,12 @@ impl std::error::Error for SimError {}
 impl From<MemoryError> for SimError {
     fn from(e: MemoryError) -> Self {
         SimError::Memory(e)
+    }
+}
+
+impl From<RemapError> for SimError {
+    fn from(e: RemapError) -> Self {
+        SimError::Remap(e)
     }
 }
 
@@ -117,6 +185,8 @@ struct ClusterObs {
     dma_transfers: Counter,
     bank_conflicts: Counter,
     icache_misses: Counter,
+    fault_retries: Counter,
+    ecc_corrected: Counter,
 }
 
 impl ClusterObs {
@@ -161,6 +231,10 @@ pub struct Cluster {
     obs: Option<ClusterObs>,
     /// Remote-port grants used per tile in the current cycle.
     remote_issued: Vec<u32>,
+    /// Injected-fault state, present only in fault-injection runs.
+    faults: Option<FaultController>,
+    /// Forward-progress watchdog, armed by [`Cluster::set_watchdog`].
+    watchdog: Option<Watchdog>,
 }
 
 impl Cluster {
@@ -196,6 +270,8 @@ impl Cluster {
             trace: None,
             obs: None,
             remote_issued: vec![0; num_tiles],
+            faults: None,
+            watchdog: None,
         }
     }
 
@@ -224,6 +300,8 @@ impl Cluster {
                 .metrics
                 .counter("sim_bank_conflict_cycles_total", &labels),
             icache_misses: obs.metrics.counter("sim_icache_misses_total", &labels),
+            fault_retries: obs.metrics.counter("sim_fault_retries_total", &labels),
+            ecc_corrected: obs.metrics.counter("sim_ecc_corrected_total", &labels),
             obs: obs.clone(),
         });
     }
@@ -273,8 +351,23 @@ impl Cluster {
 
     /// Restarts all cores at `pc`, clearing the halted state. Register
     /// files and memory contents are preserved, so multi-phase kernels can
-    /// pass state between phases.
-    pub fn resume_all(&mut self, pc: u32) {
+    /// pass state between phases. Cores hung by an injected fault stay
+    /// parked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ResumeWithOutstanding`] if a core still has
+    /// in-flight transactions (e.g. a request black-holed by a dead F2F
+    /// link) — restarting it would corrupt the scoreboard.
+    pub fn resume_all(&mut self, pc: u32) -> Result<(), SimError> {
+        for (i, core) in self.cores.iter().enumerate() {
+            if !core.hung() && core.outstanding() > 0 {
+                return Err(SimError::ResumeWithOutstanding {
+                    core: GlobalCoreId::new(i as u32),
+                    outstanding: core.outstanding(),
+                });
+            }
+        }
         if let Some(hooks) = &self.obs {
             for (core, &track) in self.cores.iter().zip(&hooks.core_tracks) {
                 if core.halted() {
@@ -283,7 +376,117 @@ impl Cluster {
             }
         }
         for core in &mut self.cores {
-            core.reset_at(pc);
+            if !core.hung() {
+                core.reset_at(pc);
+            }
+        }
+        self.note_external_progress();
+        Ok(())
+    }
+
+    /// Injects the faults of `plan` into this cluster: stuck banks are
+    /// taken out of service by remapping them onto per-tile spares (their
+    /// contents migrate), link health and timed events (bit flips, core
+    /// hangs) are armed for delivery as the clock reaches them.
+    ///
+    /// Injecting replaces any previously injected plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Remap`] if the spare-bank policy cannot cover
+    /// the plan's stuck banks (e.g. two stuck banks reported for the same
+    /// physical bank).
+    pub fn inject_faults(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        let mut ctrl = FaultController::new(plan, self.config.num_tiles());
+        let num_tiles = self.config.num_tiles();
+        let mut per_tile = vec![0u32; num_tiles as usize];
+        for &(tile, _) in ctrl.stuck_banks() {
+            if let Some(count) = per_tile.get_mut(tile.index()) {
+                *count += 1;
+            }
+        }
+        let spares_needed = per_tile.iter().copied().max().unwrap_or(0);
+        if spares_needed > 0 {
+            self.storage.provision_spares(spares_needed);
+            let stuck = ctrl.stuck_banks().to_vec();
+            for (tile, bank) in stuck {
+                if tile.index() >= num_tiles as usize {
+                    continue;
+                }
+                let spare = self.storage.remap_bank(tile, bank)?;
+                ctrl.record_remap(tile, bank, spare);
+            }
+        }
+        self.faults = Some(ctrl);
+        Ok(())
+    }
+
+    /// Arms the forward-progress watchdog: if no core retires an
+    /// instruction and no memory response is delivered for `threshold`
+    /// consecutive cycles, [`Cluster::step`] raises [`SimError::Deadlock`]
+    /// with a per-core diagnostic snapshot.
+    pub fn set_watchdog(&mut self, threshold: u64) {
+        self.watchdog = Some(Watchdog::new(threshold, self.cycle));
+    }
+
+    /// The accumulated fault report, if a plan was injected.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(FaultController::report)
+    }
+
+    /// Snapshot of every core's liveness state (used in deadlock
+    /// diagnostics).
+    pub fn core_diagnostics(&self) -> Vec<CoreDiagnostic> {
+        self.cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| CoreDiagnostic {
+                core: i as u32,
+                pc: core.pc,
+                halted: core.halted(),
+                hung: core.hung(),
+                outstanding: core.outstanding(),
+                retired: core.stats.retired,
+            })
+            .collect()
+    }
+
+    /// Applies timed faults due at the current cycle: bit flips corrupt
+    /// the stored word (and arm the ECC mask), hangs latch cores up.
+    fn apply_due_faults(&mut self) -> Result<(), SimError> {
+        let due = match self.faults.as_mut() {
+            Some(faults) => faults.take_due(self.cycle),
+            None => return Ok(()),
+        };
+        for fault in due {
+            match fault {
+                TimedFault::Flip { loc, mask } => {
+                    // A flip aimed outside the geometry (or at a remapped
+                    // word's logical home) still lands: the storage layer
+                    // resolves through the remap, so the spare takes it.
+                    if let Ok(word) = self.storage.read_loc(loc) {
+                        self.storage.write_loc(loc, word ^ mask)?;
+                        if let Some(faults) = self.faults.as_mut() {
+                            faults.note_flip(loc, mask);
+                        }
+                    }
+                }
+                TimedFault::Hang { core } => {
+                    if let Some(core) = self.cores.get_mut(core as usize) {
+                        core.hang();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Watchdog hook for clock jumps outside `step()` (DMA, resume): the
+    /// cluster made externally visible progress.
+    fn note_external_progress(&mut self) {
+        let now = self.cycle;
+        if let Some(watchdog) = self.watchdog.as_mut() {
+            watchdog.note_progress(now);
         }
     }
 
@@ -314,22 +517,43 @@ impl Cluster {
         self.cores[core.index()].regs.read(reg)
     }
 
-    /// Reads an SPM or external word directly (no timing).
+    /// Reads an SPM or external word directly (no timing). Latent
+    /// single-bit errors are corrected on the fly (without scrubbing —
+    /// debug reads leave the stored word untouched).
     ///
     /// # Errors
     ///
-    /// Returns an error for unmapped or misaligned addresses.
+    /// Returns an error for unmapped or misaligned addresses, or an
+    /// uncorrectable multi-bit error under fault injection.
     pub fn read_spm_word(&self, addr: u32) -> Result<u32, SimError> {
-        Ok(self.storage.read(addr, MemWidth::Word)?)
+        let word = self.storage.read(addr, MemWidth::Word)?;
+        if let Some(faults) = &self.faults {
+            if let MemoryRegion::Spm(loc) = self.storage.map().locate(addr & !3) {
+                if let Some(mask) = faults.pending_mask(loc) {
+                    if mask.count_ones() == 1 {
+                        return Ok(word ^ mask);
+                    }
+                    return Err(SimError::EccUncorrectable { loc, mask });
+                }
+            }
+        }
+        Ok(word)
     }
 
-    /// Writes an SPM or external word directly (no timing).
+    /// Writes an SPM or external word directly (no timing), clearing any
+    /// latent ECC error on the overwritten word.
     ///
     /// # Errors
     ///
     /// Returns an error for unmapped or misaligned addresses.
     pub fn write_spm_word(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
-        Ok(self.storage.write(addr, MemWidth::Word, value)?)
+        self.storage.write(addr, MemWidth::Word, value)?;
+        if let MemoryRegion::Spm(loc) = self.storage.map().locate(addr & !3) {
+            if let Some(faults) = self.faults.as_mut() {
+                faults.ecc_clear(loc);
+            }
+        }
+        Ok(())
     }
 
     /// The storage backing the SPM and external memory.
@@ -354,6 +578,7 @@ impl Cluster {
         self.all_halted()
             && self.banks.iter().all(|b| b.queue.is_empty())
             && self.responses.iter().all(Vec::is_empty)
+            && self.cores.iter().all(|c| c.outstanding() == 0)
     }
 
     /// Performs a DMA transfer between external memory and the SPM,
@@ -384,6 +609,9 @@ impl Cluster {
                 self.storage.write_external_word(ext_offset + i, value);
             }
         }
+        if to_spm {
+            self.ecc_clear_spm_range(spm_addr, bytes);
+        }
         let start = self.cycle;
         let done = self.offchip.schedule(self.cycle, bytes);
         let elapsed = done - self.cycle;
@@ -393,6 +621,7 @@ impl Cluster {
         if let Some(hooks) = &self.obs {
             hooks.dma_span("dma", start, done, bytes, to_spm);
         }
+        self.note_external_progress();
         Ok(elapsed)
     }
 
@@ -432,6 +661,7 @@ impl Cluster {
         if let Some(hooks) = &self.obs {
             hooks.dma_span("dma_tile", start, done, bytes, to_spm);
         }
+        self.note_external_progress();
         Ok(elapsed)
     }
 
@@ -492,6 +722,7 @@ impl Cluster {
             }
             self.dma_cycles += cycle - self.cycle;
             self.cycle = cycle;
+            self.note_external_progress();
         }
     }
 
@@ -518,8 +749,27 @@ impl Cluster {
                     self.storage.write_external_word(ext_row + i, value);
                 }
             }
+            if to_spm {
+                self.ecc_clear_spm_range(spm_row, row_bytes as u64);
+            }
         }
         Ok(())
+    }
+
+    /// Clears latent ECC masks on a freshly (over)written SPM range —
+    /// bulk writes leave error-free words behind, exactly like stores.
+    fn ecc_clear_spm_range(&mut self, spm_addr: u32, bytes: u64) {
+        let latent = self.faults.as_ref().is_some_and(|f| f.has_pending_errors());
+        if !latent {
+            return;
+        }
+        for i in (0..bytes).step_by(4) {
+            if let MemoryRegion::Spm(loc) = self.storage.map().locate(spm_addr + i as u32) {
+                if let Some(faults) = self.faults.as_mut() {
+                    faults.ecc_clear(loc);
+                }
+            }
+        }
     }
 
     fn latency_split(latency: &LatencyModel, class: AccessClass) -> (u32, u32) {
@@ -532,11 +782,29 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Returns an error on fetch or data-access faults.
+    /// Returns an error on fetch or data-access faults, an uncorrectable
+    /// ECC error, a dead-link access (under the fail-fast policy), or a
+    /// watchdog-detected deadlock.
+    #[must_use = "a step can fail with a SimError that must not be ignored"]
     pub fn step(&mut self) -> Result<(), SimError> {
+        self.apply_due_faults()?;
         self.serve_banks()?;
-        self.deliver_responses();
-        self.issue_cores()?;
+        let delivered = self.deliver_responses();
+        let retired = self.issue_cores()?;
+        let mut deadlock = None;
+        if let Some(watchdog) = self.watchdog.as_mut() {
+            if delivered || retired {
+                watchdog.note_progress(self.cycle);
+            } else if watchdog.expired(self.cycle) {
+                deadlock = Some(watchdog.stalled_for(self.cycle));
+            }
+        }
+        if let Some(stalled_for) = deadlock {
+            return Err(SimError::Deadlock {
+                stalled_for,
+                diagnostics: self.core_diagnostics(),
+            });
+        }
         self.cycle += 1;
         Ok(())
     }
@@ -568,7 +836,44 @@ impl Cluster {
             }
             let access = bank.queue.swap_remove(index);
             bank.stats.served += 1;
-            let old_word = self.storage.read_loc(access.loc)?;
+            let mut old_word = self.storage.read_loc(access.loc)?;
+            // SEC-DED check on every access that observes the stored word
+            // (a full-word store overwrites it without reading).
+            let reads_word = !matches!(
+                access.kind,
+                MemAccessKind::Store {
+                    width: MemWidth::Word,
+                    ..
+                }
+            );
+            let mut extra_resp = 0u32;
+            if reads_word {
+                if let Some(faults) = self.faults.as_mut() {
+                    match faults.ecc_read(access.loc, old_word) {
+                        EccOutcome::Clean => {}
+                        EccOutcome::Corrected { value } => {
+                            // Correct the returned word and scrub storage.
+                            old_word = value;
+                            self.storage.write_loc(access.loc, value)?;
+                            extra_resp = self.params.ecc_correction_penalty;
+                            let core = &mut self.cores[access.core as usize];
+                            if !core.halted() {
+                                core.insert_bubble(extra_resp);
+                                core.stats.stall_ecc += extra_resp as u64;
+                            }
+                            if let Some(hooks) = &self.obs {
+                                hooks.ecc_corrected.inc();
+                            }
+                        }
+                        EccOutcome::Uncorrectable { mask } => {
+                            return Err(SimError::EccUncorrectable {
+                                loc: access.loc,
+                                mask,
+                            });
+                        }
+                    }
+                }
+            }
             let shift = (access.addr & 3) * 8;
             let response_value = match access.kind {
                 MemAccessKind::Load { width, .. } => match width {
@@ -593,10 +898,19 @@ impl Cluster {
                     old_word
                 }
             };
+            // Any write leaves a freshly encoded (error-free) word behind.
+            if matches!(
+                access.kind,
+                MemAccessKind::Store { .. } | MemAccessKind::Amo { .. }
+            ) {
+                if let Some(faults) = self.faults.as_mut() {
+                    faults.ecc_clear(access.loc);
+                }
+            }
             let reg = access.kind.response_reg();
             let raw = sign_adjust(access.kind, response_value);
             self.responses[access.core as usize].push(Response {
-                due: now + access.resp_latency as u64,
+                due: now + (access.resp_latency + extra_resp) as u64,
                 reg,
                 value: raw,
             });
@@ -604,32 +918,43 @@ impl Cluster {
         Ok(())
     }
 
-    fn deliver_responses(&mut self) {
+    /// Returns whether any response was delivered (forward progress).
+    fn deliver_responses(&mut self) -> bool {
         let now = self.cycle;
+        let mut delivered = false;
         for (core, responses) in self.cores.iter_mut().zip(&mut self.responses) {
             let mut i = 0;
             while i < responses.len() {
                 if responses[i].due <= now {
                     let r = responses.swap_remove(i);
                     core.complete(r.reg, r.value);
+                    delivered = true;
                 } else {
                     i += 1;
                 }
             }
         }
+        delivered
     }
 
-    fn issue_cores(&mut self) -> Result<(), SimError> {
+    /// Returns whether any core retired an instruction (forward progress).
+    fn issue_cores(&mut self) -> Result<bool, SimError> {
         if self.program.is_empty() {
             return Err(SimError::NoProgram);
         }
         let now = self.cycle;
         let cores_per_tile = self.config.cores_per_tile();
         self.remote_issued.fill(0);
+        let mut retired_any = false;
         for index in 0..self.cores.len() {
             let core_id = GlobalCoreId::new(index as u32);
             let (tile, _) = core_id.split(cores_per_tile);
             let core = &mut self.cores[index];
+            if core.hung() {
+                // Latched up by an injected fault: burns cycles forever.
+                core.stats.halted_cycles += 1;
+                continue;
+            }
             if core.halted() {
                 core.stats.halted_cycles += 1;
                 continue;
@@ -678,6 +1003,7 @@ impl Cluster {
                 }
             }
             core.stats.retired += 1;
+            retired_any = true;
             if let Some(trace) = &mut self.trace {
                 trace.record(TraceEntry {
                     cycle: now,
@@ -710,6 +1036,36 @@ impl Cluster {
                     };
                     match self.storage.decode(req.addr, width)? {
                         MemoryRegion::Spm(loc) => {
+                            // The destination tile's F2F via carries every
+                            // access to that tile's banks on the memory die.
+                            let mut extra_req = 0u32;
+                            if let Some(faults) = self.faults.as_mut() {
+                                match faults.link_state(loc.tile) {
+                                    LinkState::Healthy => {}
+                                    LinkState::Degraded(extra) => {
+                                        faults.record_retry(extra as u64);
+                                        core.insert_bubble(extra);
+                                        core.stats.stall_fault_retry += extra as u64;
+                                        if let Some(hooks) = &self.obs {
+                                            hooks.fault_retries.inc();
+                                        }
+                                        extra_req = extra;
+                                    }
+                                    LinkState::Dead => match faults.dead_link_policy() {
+                                        DeadLinkPolicy::Error => {
+                                            return Err(SimError::LinkDead { tile: loc.tile });
+                                        }
+                                        DeadLinkPolicy::BlackHole => {
+                                            // The request vanishes into the
+                                            // open via; the scoreboard entry
+                                            // is pinned forever.
+                                            faults.record_blackhole();
+                                            core.mark_pending(req.kind.response_reg());
+                                            continue;
+                                        }
+                                    },
+                                }
+                            }
                             let class = LatencyModel::classify(&self.config, tile, loc.tile);
                             core.stats
                                 .record_access(class, self.topo.route(tile, loc.tile).network);
@@ -718,7 +1074,7 @@ impl Cluster {
                                 Self::latency_split(&self.params.latency, class);
                             let bank = loc.global_bank(&self.config);
                             self.banks[bank.index()].queue.push(PendingAccess {
-                                arrival: now + req_lat as u64,
+                                arrival: now + (req_lat + extra_req) as u64,
                                 core: index as u32,
                                 loc,
                                 kind: req.kind,
@@ -757,7 +1113,7 @@ impl Cluster {
                 }
             }
         }
-        Ok(())
+        Ok(retired_any)
     }
 
     /// Runs until every core halts, returning the cycle count at that
@@ -767,6 +1123,7 @@ impl Cluster {
     ///
     /// Returns [`SimError::Timeout`] if the budget is exhausted first, or
     /// any fault raised while stepping.
+    #[must_use = "a run can fail with a SimError that must not be ignored"]
     pub fn run(&mut self, max_cycles: u64) -> Result<u64, SimError> {
         let deadline = self.cycle + max_cycles;
         while !self.quiescent() {
@@ -1552,9 +1909,389 @@ mod tests {
         cluster.preload_icaches();
         cluster.run(1000).unwrap();
         let phase2 = 8; // pc of `phase2` (li expands to one instruction)
-        cluster.resume_all(phase2);
+        cluster.resume_all(phase2).unwrap();
         assert!(!cluster.all_halted());
         cluster.run(1000).unwrap();
         assert_eq!(cluster.read_spm_word(0).unwrap(), 8);
+    }
+
+    // ----- fault injection, watchdog, and graceful degradation -----
+
+    use mempool_arch::BankId;
+    use mempool_fault::{FaultConfig, FaultEvent};
+
+    /// First word-aligned address that `locate`s into the given bank of
+    /// tile 0.
+    fn addr_in_bank(cluster: &Cluster, bank: u32) -> (u32, BankLocation) {
+        for addr in (0..4096u32).step_by(4) {
+            if let MemoryRegion::Spm(loc) = cluster.storage().map().locate(addr) {
+                if loc.tile == TileId(0) && loc.bank == BankId(bank) {
+                    return (addr, loc);
+                }
+            }
+        }
+        panic!("no address maps to tile 0 bank {bank}");
+    }
+
+    #[test]
+    fn stuck_bank_is_remapped_and_results_stay_correct() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        let (addr, loc) = addr_in_bank(&cluster, 1);
+        cluster.write_spm_word(addr, 77).unwrap();
+
+        let mut plan = FaultPlan::new(1);
+        plan.push(FaultEvent::StuckBank {
+            tile: TileId(0),
+            bank: BankId(1),
+        });
+        cluster.inject_faults(&plan).unwrap();
+        // The faulty physical array can rot arbitrarily: the logical bank
+        // now lives on the spare, so the corruption is invisible.
+        cluster.storage_mut().write_physical(loc, 0xDEAD_BEEF);
+        assert_eq!(cluster.read_spm_word(addr).unwrap(), 77);
+
+        cluster.load_program(
+            Program::assemble(&format!(
+                "li t0, {addr}\nlw a0, 0(t0)\naddi a0, a0, 1\nli t1, 0\nsw a0, 0(t1)\nwfi"
+            ))
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        cluster.run(10_000).unwrap();
+        assert_eq!(cluster.read_spm_word(0).unwrap(), 78);
+
+        let report = cluster.fault_report().unwrap();
+        assert_eq!(report.stuck_banks, 1);
+        assert_eq!(report.remapped.len(), 1);
+        assert_eq!(report.remapped[0].from_bank, 1);
+        assert!(
+            report.remapped[0].to_bank >= cluster.config().banks_per_tile(),
+            "the spare lives outside the addressable geometry"
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_is_corrected_counted_and_charged() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        cluster.write_spm_word(0, 123).unwrap();
+        let MemoryRegion::Spm(loc) = cluster.storage().map().locate(0) else {
+            panic!("address 0 must be SPM");
+        };
+        let mut plan = FaultPlan::new(2);
+        plan.push(FaultEvent::TransientFlip {
+            cycle: 0,
+            loc,
+            mask: 1 << 7,
+        });
+        cluster.inject_faults(&plan).unwrap();
+        cluster.load_program(
+            Program::assemble("li t0, 0\nlw a0, 0(t0)\naddi a0, a0, 1\nsw a0, 4(t0)\nwfi").unwrap(),
+        );
+        cluster.preload_icaches();
+        cluster.run(10_000).unwrap();
+        // SEC-DED corrected the load: the program saw 123, not 123^0x80.
+        assert_eq!(cluster.read_spm_word(4).unwrap(), 124);
+        // The scrub repaired storage in place.
+        assert_eq!(cluster.read_spm_word(0).unwrap(), 123);
+        let stats = cluster.stats();
+        assert_eq!(
+            stats.cores[0].stall_ecc,
+            SimParams::default().ecc_correction_penalty as u64
+        );
+        let report = cluster.fault_report().unwrap();
+        assert_eq!(report.ecc_corrected, 1);
+        assert_eq!(report.ecc_pending, 0, "scrubbed: no latent errors remain");
+    }
+
+    #[test]
+    fn double_bit_error_raises_a_typed_uncorrectable() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        let MemoryRegion::Spm(loc) = cluster.storage().map().locate(0) else {
+            panic!("address 0 must be SPM");
+        };
+        let mut plan = FaultPlan::new(3);
+        for bit in [3u32, 19] {
+            plan.push(FaultEvent::TransientFlip {
+                cycle: 0,
+                loc,
+                mask: 1 << bit,
+            });
+        }
+        cluster.inject_faults(&plan).unwrap();
+        cluster.load_program(Program::assemble("li t0, 0\nlw a0, 0(t0)\nwfi").unwrap());
+        cluster.preload_icaches();
+        let err = cluster.run(10_000).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::EccUncorrectable {
+                loc,
+                mask: (1 << 3) | (1 << 19),
+            }
+        );
+    }
+
+    fn four_tile_config() -> ClusterConfig {
+        ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(4)
+            .cores_per_tile(1)
+            .banks_per_tile(4)
+            .bank_words(64)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dead_link_fails_fast_under_the_error_policy() {
+        let cfg = four_tile_config();
+        let remote = {
+            let probe = Cluster::new(cfg.clone(), SimParams::default());
+            probe.storage().map().seq_addr(TileId(1), 0)
+        };
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        let mut plan = FaultPlan::new(4);
+        plan.push(FaultEvent::LinkDead { tile: TileId(1) });
+        cluster.inject_faults(&plan).unwrap();
+        cluster.load_program(
+            Program::assemble(&format!(
+                r#"
+                    csrr t1, mhartid
+                    bnez t1, done
+                    li   t0, {remote}
+                    lw   a0, 0(t0)
+                done:
+                    wfi
+                "#
+            ))
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        assert_eq!(
+            cluster.run(10_000).unwrap_err(),
+            SimError::LinkDead { tile: TileId(1) }
+        );
+    }
+
+    #[test]
+    fn black_holed_request_is_caught_by_the_watchdog() {
+        let cfg = four_tile_config();
+        let remote = {
+            let probe = Cluster::new(cfg.clone(), SimParams::default());
+            probe.storage().map().seq_addr(TileId(1), 0)
+        };
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        let mut plan = FaultPlan::new(5).with_dead_link_policy(DeadLinkPolicy::BlackHole);
+        plan.push(FaultEvent::LinkDead { tile: TileId(1) });
+        cluster.inject_faults(&plan).unwrap();
+        cluster.set_watchdog(50);
+        // Core 0 waits forever on a load its dead link swallowed.
+        cluster.load_program(
+            Program::assemble(&format!(
+                r#"
+                    csrr t1, mhartid
+                    bnez t1, done
+                    li   t0, {remote}
+                    lw   a0, 0(t0)
+                    add  a1, a0, a0
+                done:
+                    wfi
+                "#
+            ))
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        let err = cluster.run(100_000).unwrap_err();
+        let SimError::Deadlock {
+            stalled_for,
+            diagnostics,
+        } = err
+        else {
+            panic!("expected a deadlock, got {err}");
+        };
+        assert!(stalled_for >= 50);
+        assert_eq!(diagnostics.len(), 4);
+        let victim = &diagnostics[0];
+        assert_eq!(victim.condition(), "waiting-on-memory");
+        assert!(victim.outstanding > 0);
+        assert_eq!(cluster.fault_report().unwrap().blackholed_requests, 1);
+        // The error renders with one line per core.
+        let text = SimError::Deadlock {
+            stalled_for,
+            diagnostics,
+        }
+        .to_string();
+        assert!(text.contains("waiting-on-memory"));
+        assert!(text.contains("core   3"));
+    }
+
+    #[test]
+    fn hung_core_is_diagnosed_by_the_watchdog() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        let mut plan = FaultPlan::new(6);
+        plan.push(FaultEvent::CoreHang {
+            cycle: 0,
+            core: GlobalCoreId::new(0),
+        });
+        cluster.inject_faults(&plan).unwrap();
+        cluster.set_watchdog(40);
+        cluster.load_program(Program::assemble("li a0, 1\nwfi").unwrap());
+        cluster.preload_icaches();
+        let err = cluster.run(100_000).unwrap_err();
+        let SimError::Deadlock { diagnostics, .. } = err else {
+            panic!("expected a deadlock, got {err}");
+        };
+        assert_eq!(diagnostics[0].condition(), "hung");
+        assert_eq!(diagnostics[0].retired, 0, "the core hung before issuing");
+    }
+
+    #[test]
+    fn resuming_a_core_with_a_pinned_transaction_is_a_typed_error() {
+        let cfg = four_tile_config();
+        let remote = {
+            let probe = Cluster::new(cfg.clone(), SimParams::default());
+            probe.storage().map().seq_addr(TileId(1), 0)
+        };
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        let mut plan = FaultPlan::new(7).with_dead_link_policy(DeadLinkPolicy::BlackHole);
+        plan.push(FaultEvent::LinkDead { tile: TileId(1) });
+        cluster.inject_faults(&plan).unwrap();
+        // Core 0 fires a store into the dead link and parks; stores do not
+        // block `wfi`, so every core halts — but the transaction is pinned.
+        cluster.load_program(
+            Program::assemble(&format!(
+                r#"
+                    csrr t1, mhartid
+                    bnez t1, done
+                    li   t0, {remote}
+                    sw   t1, 0(t0)
+                done:
+                    wfi
+                "#
+            ))
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        for _ in 0..200 {
+            cluster.step().unwrap();
+            if cluster.all_halted() {
+                break;
+            }
+        }
+        assert!(cluster.all_halted());
+        assert!(!cluster.quiescent(), "the black-holed store never drains");
+        assert_eq!(
+            cluster.resume_all(0).unwrap_err(),
+            SimError::ResumeWithOutstanding {
+                core: GlobalCoreId::new(0),
+                outstanding: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn attribution_buckets_sum_exactly_under_injected_faults() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        cluster.write_spm_word(0, 11).unwrap();
+        let MemoryRegion::Spm(loc) = cluster.storage().map().locate(0) else {
+            panic!("address 0 must be SPM");
+        };
+        let mut plan = FaultPlan::new(8);
+        plan.push(FaultEvent::LinkDegraded {
+            tile: TileId(0),
+            extra_latency: 5,
+        });
+        plan.push(FaultEvent::TransientFlip {
+            cycle: 0,
+            loc,
+            mask: 1 << 30,
+        });
+        let obs = mempool_obs::Obs::new();
+        cluster.attach_obs(&obs, "fault-run");
+        cluster.inject_faults(&plan).unwrap();
+        cluster.load_program(
+            Program::assemble(
+                r#"
+                    li   t0, 0
+                    li   t1, 16
+                loop:
+                    lw   a0, 0(t0)
+                    add  a1, a0, a0
+                    addi t1, t1, -1
+                    bnez t1, loop
+                    wfi
+                "#,
+            )
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        cluster.run(100_000).unwrap();
+        let stats = cluster.stats();
+        assert!(stats.cores[0].stall_fault_retry > 0, "retries were charged");
+        assert!(stats.cores[0].stall_ecc > 0, "the correction was charged");
+        let report = stats.attribution(1, 4);
+        assert_eq!(
+            report.cores[0].total(),
+            report.cycles,
+            "buckets must sum exactly to total cycles even under faults"
+        );
+        assert!(report.cores[0].fault_retry > 0);
+        assert!(report.cores[0].ecc > 0);
+
+        let fr = cluster.fault_report().unwrap();
+        assert_eq!(fr.retried_accesses, 16, "one retry per load");
+        assert_eq!(fr.retry_cycles, 16 * 5);
+        assert_eq!(fr.ecc_corrected, 1);
+
+        cluster.detach_obs();
+        let snapshot = obs.metrics.snapshot();
+        let value = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        assert_eq!(value("sim_fault_retries_total"), 16);
+        assert_eq!(value("sim_ecc_corrected_total"), 1);
+    }
+
+    #[test]
+    fn generated_plan_runs_to_completion_with_correct_results() {
+        let cfg = ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(4)
+            .cores_per_tile(4)
+            .banks_per_tile(16)
+            .bank_words(512)
+            .build()
+            .unwrap();
+        let num_cores = cfg.num_cores();
+        let mut cluster = Cluster::new(cfg.clone(), SimParams::default());
+        let plan = FaultPlan::generate(&FaultConfig::new(42, 1e-6), &cfg);
+        assert!(!plan.is_empty());
+        cluster.inject_faults(&plan).unwrap();
+        cluster.set_watchdog(100_000);
+        cluster.load_program(
+            Program::assemble(
+                r#"
+                    li   t0, 0
+                    li   t1, 10
+                    li   t2, 1
+                loop:
+                    amoadd.w a0, t2, (t0)
+                    addi t1, t1, -1
+                    bnez t1, loop
+                    wfi
+                "#,
+            )
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        cluster.run(1_000_000).unwrap();
+        assert_eq!(cluster.read_spm_word(0).unwrap(), num_cores * 10);
+        let report = cluster.fault_report().unwrap();
+        assert!(report.total_injected() >= 2, "floors guarantee faults");
+        assert_eq!(report.remapped.len() as u64, report.stuck_banks);
     }
 }

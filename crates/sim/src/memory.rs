@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use mempool_arch::{AddressMap, BankLocation, ClusterConfig, MemoryRegion};
+use mempool_arch::{
+    AddressMap, BankId, BankLocation, ClusterConfig, MemoryRegion, RemapError, TileId,
+};
 use mempool_isa::exec::MemWidth;
 
 /// Error raised by a storage access.
@@ -49,8 +51,19 @@ pub struct Storage {
     bank_words: u32,
     banks_per_tile: u32,
     map: AddressMap,
+    /// Spare-bank storage, `(tile * spares_per_tile + slot) * bank_words +
+    /// word`, allocated on demand by [`Self::provision_spares`].
+    spare: Vec<u32>,
+    spares_per_tile: u32,
+    num_tiles: u32,
     /// Sparse external memory, keyed by word offset.
     external: HashMap<u64, u32>,
+}
+
+/// Which physical array a resolved location lands in.
+enum Slot {
+    Main(usize),
+    Spare(usize),
 }
 
 impl Storage {
@@ -61,6 +74,9 @@ impl Storage {
             bank_words: cfg.bank_words(),
             banks_per_tile: cfg.banks_per_tile(),
             map: AddressMap::new(cfg),
+            spare: Vec::new(),
+            spares_per_tile: 0,
+            num_tiles: cfg.num_tiles(),
             external: HashMap::new(),
         }
     }
@@ -70,36 +86,114 @@ impl Storage {
         &self.map
     }
 
-    fn spm_index(&self, loc: BankLocation) -> Result<usize, MemoryError> {
+    /// Allocates `spares_per_tile` zeroed spare banks per tile and enables
+    /// the remap policy on the address map. Growing the pool preserves the
+    /// content of already-provisioned spares.
+    pub fn provision_spares(&mut self, spares_per_tile: u32) {
+        if spares_per_tile > self.spares_per_tile {
+            let words =
+                self.num_tiles as usize * spares_per_tile as usize * self.bank_words as usize;
+            let mut grown = vec![0u32; words];
+            // Re-home existing spare content under the wider per-tile stride.
+            for tile in 0..self.num_tiles as usize {
+                for slot in 0..self.spares_per_tile as usize {
+                    let old_base =
+                        (tile * self.spares_per_tile as usize + slot) * self.bank_words as usize;
+                    let new_base =
+                        (tile * spares_per_tile as usize + slot) * self.bank_words as usize;
+                    grown[new_base..new_base + self.bank_words as usize].copy_from_slice(
+                        &self.spare[old_base..old_base + self.bank_words as usize],
+                    );
+                }
+            }
+            self.spare = grown;
+            self.spares_per_tile = spares_per_tile;
+        }
+        self.map.enable_spares(spares_per_tile);
+    }
+
+    /// Takes a faulted bank out of service: redirects it to the tile's next
+    /// free spare and copies the bank's current content over, so data
+    /// loaded before the fault was discovered survives. Returns the spare's
+    /// bank id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if spares are not provisioned, the bank is out of range or
+    /// already remapped, or the tile's spares are exhausted.
+    pub fn remap_bank(&mut self, tile: TileId, bank: BankId) -> Result<BankId, RemapError> {
+        let spare = self.map.disable_bank(tile, bank)?;
+        let main_base = (tile.0 as usize * self.banks_per_tile as usize + bank.index())
+            * self.bank_words as usize;
+        let slot = (spare.0 - self.banks_per_tile) as usize;
+        let spare_base =
+            (tile.0 as usize * self.spares_per_tile as usize + slot) * self.bank_words as usize;
+        let (words, main, sp) = (self.bank_words as usize, main_base, spare_base);
+        self.spare[sp..sp + words].copy_from_slice(&self.spm[main..main + words]);
+        Ok(spare)
+    }
+
+    /// Resolves a logical location through the remap table to the physical
+    /// array index backing it.
+    fn slot(&self, loc: BankLocation) -> Result<Slot, MemoryError> {
         if loc.word >= self.bank_words || loc.bank.0 >= self.banks_per_tile {
             return Err(MemoryError::BadLocation);
         }
-        let global_bank = loc.tile.0 as usize * self.banks_per_tile as usize + loc.bank.index();
+        let resolved = self.map.resolve(loc);
+        if resolved.bank.0 >= self.banks_per_tile {
+            // Redirected to a spare bank.
+            let slot = (resolved.bank.0 - self.banks_per_tile) as usize;
+            let index = (resolved.tile.0 as usize * self.spares_per_tile as usize + slot)
+                * self.bank_words as usize
+                + loc.word as usize;
+            if index >= self.spare.len() {
+                return Err(MemoryError::BadLocation);
+            }
+            return Ok(Slot::Spare(index));
+        }
+        let global_bank =
+            resolved.tile.0 as usize * self.banks_per_tile as usize + resolved.bank.index();
         let index = global_bank * self.bank_words as usize + loc.word as usize;
         if index >= self.spm.len() {
             return Err(MemoryError::BadLocation);
         }
-        Ok(index)
+        Ok(Slot::Main(index))
     }
 
-    /// Reads the word at a bank location.
+    /// Reads the word at a (logical) bank location, following any
+    /// spare-bank substitution.
     ///
     /// # Errors
     ///
     /// Returns an error if the location is outside the bank geometry.
     pub fn read_loc(&self, loc: BankLocation) -> Result<u32, MemoryError> {
-        Ok(self.spm[self.spm_index(loc)?])
+        Ok(match self.slot(loc)? {
+            Slot::Main(index) => self.spm[index],
+            Slot::Spare(index) => self.spare[index],
+        })
     }
 
-    /// Writes the word at a bank location.
+    /// Writes the word at a (logical) bank location, following any
+    /// spare-bank substitution.
     ///
     /// # Errors
     ///
     /// Returns an error if the location is outside the bank geometry.
     pub fn write_loc(&mut self, loc: BankLocation, value: u32) -> Result<(), MemoryError> {
-        let index = self.spm_index(loc)?;
-        self.spm[index] = value;
+        match self.slot(loc)? {
+            Slot::Main(index) => self.spm[index] = value,
+            Slot::Spare(index) => self.spare[index] = value,
+        }
         Ok(())
+    }
+
+    /// Writes directly into the *physical* faulted bank, bypassing the
+    /// remap table — test hook modeling the defect corrupting the cell
+    /// array (a remapped read must not see this).
+    #[cfg(test)]
+    pub(crate) fn write_physical(&mut self, loc: BankLocation, value: u32) {
+        let global_bank = loc.tile.0 as usize * self.banks_per_tile as usize + loc.bank.index();
+        self.spm[global_bank * self.bank_words as usize + loc.word as usize] = value;
     }
 
     /// Decodes an address, checking alignment for the given width.
@@ -262,5 +356,72 @@ mod tests {
             word: 99_999,
         };
         assert_eq!(s.read_loc(bad).unwrap_err(), MemoryError::BadLocation);
+    }
+
+    #[test]
+    fn remapped_bank_preserves_content_and_isolates_the_faulty_array() {
+        let mut s = storage();
+        let loc = BankLocation {
+            tile: TileId(1),
+            bank: BankId(2),
+            word: 9,
+        };
+        s.write_loc(loc, 0xdead_beef).unwrap();
+        s.provision_spares(1);
+        let spare = s.remap_bank(TileId(1), BankId(2)).unwrap();
+        assert!(spare.0 >= s.banks_per_tile);
+        // Content copied at remap time survives.
+        assert_eq!(s.read_loc(loc).unwrap(), 0xdead_beef);
+        // Corruption in the physical faulted array is invisible after the
+        // remap...
+        s.write_physical(loc, 0x0bad_0bad);
+        assert_eq!(s.read_loc(loc).unwrap(), 0xdead_beef);
+        // ...and new writes land in (and read back from) the spare.
+        s.write_loc(loc, 7).unwrap();
+        assert_eq!(s.read_loc(loc).unwrap(), 7);
+        // Sibling banks keep their own storage.
+        let sibling = BankLocation {
+            bank: BankId(3),
+            ..loc
+        };
+        assert_eq!(s.read_loc(sibling).unwrap(), 0);
+    }
+
+    #[test]
+    fn remap_errors_surface_from_the_map() {
+        let mut s = storage();
+        assert_eq!(
+            s.remap_bank(TileId(0), BankId(0)),
+            Err(RemapError::NotEnabled)
+        );
+        s.provision_spares(1);
+        s.remap_bank(TileId(0), BankId(0)).unwrap();
+        assert_eq!(
+            s.remap_bank(TileId(0), BankId(0)),
+            Err(RemapError::AlreadyRemapped {
+                tile: TileId(0),
+                bank: BankId(0)
+            })
+        );
+        assert_eq!(
+            s.remap_bank(TileId(0), BankId(1)),
+            Err(RemapError::SparesExhausted { tile: TileId(0) })
+        );
+    }
+
+    #[test]
+    fn widening_the_spare_pool_preserves_spare_content() {
+        let mut s = storage();
+        let loc = BankLocation {
+            tile: TileId(0),
+            bank: BankId(0),
+            word: 0,
+        };
+        s.provision_spares(1);
+        s.remap_bank(TileId(0), BankId(0)).unwrap();
+        s.write_loc(loc, 42).unwrap();
+        s.provision_spares(2);
+        assert_eq!(s.read_loc(loc).unwrap(), 42);
+        assert!(s.remap_bank(TileId(0), BankId(1)).is_ok());
     }
 }

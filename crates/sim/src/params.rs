@@ -42,6 +42,10 @@ pub struct SimParams {
     /// Idealized off-chip access latency in cycles, added once per DMA
     /// transfer (the paper idealizes this to a constant).
     pub offchip_latency: u32,
+    /// Extra response cycles when the SEC-DED logic corrects (and scrubs)
+    /// a single-bit error on a bank read — only observable in
+    /// fault-injection runs.
+    pub ecc_correction_penalty: u32,
 }
 
 impl SimParams {
@@ -66,6 +70,7 @@ impl Default for SimParams {
             icache_ways: 1,
             offchip_bytes_per_cycle: 16,
             offchip_latency: 30,
+            ecc_correction_penalty: 3,
         }
     }
 }

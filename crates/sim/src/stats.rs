@@ -22,7 +22,14 @@ pub struct CoreStats {
     pub icache_misses: u64,
     /// Cycles lost to taken-branch bubbles.
     pub stall_branch: u64,
-    /// Cycles after the core halted (idle at a barrier's end or `wfi`).
+    /// Cycles lost retrying accesses through degraded F2F links
+    /// (fault-injection runs only).
+    pub stall_fault_retry: u64,
+    /// Cycles lost to SEC-DED single-bit correction penalties
+    /// (fault-injection runs only).
+    pub stall_ecc: u64,
+    /// Cycles after the core halted (idle at a barrier's end or `wfi`),
+    /// including cycles a fault-hung core sat latched up.
     pub halted_cycles: u64,
     /// Memory accesses by distance class, indexed by
     /// `AccessClass as usize` (tile-local, group-local, remote).
@@ -35,7 +42,12 @@ pub struct CoreStats {
 impl CoreStats {
     /// Total stall cycles of all causes.
     pub fn total_stalls(&self) -> u64 {
-        self.stall_scoreboard + self.stall_structural + self.stall_icache + self.stall_branch
+        self.stall_scoreboard
+            + self.stall_structural
+            + self.stall_icache
+            + self.stall_branch
+            + self.stall_fault_retry
+            + self.stall_ecc
     }
 
     /// Cycles lost to instruction fetch: the refill bubbles plus the miss
@@ -53,6 +65,8 @@ impl CoreStats {
             + self.stall_structural
             + self.fetch_stall_cycles()
             + self.stall_branch
+            + self.stall_fault_retry
+            + self.stall_ecc
             + self.halted_cycles
     }
 
@@ -166,6 +180,8 @@ impl ClusterStats {
                 structural: c.stall_structural,
                 icache: c.fetch_stall_cycles(),
                 branch: c.stall_branch,
+                fault_retry: c.stall_fault_retry,
+                ecc: c.stall_ecc,
                 halted: c.halted_cycles,
             })
             .collect();
@@ -248,8 +264,10 @@ mod tests {
             stall_structural: 2,
             stall_icache: 3,
             stall_branch: 4,
+            stall_fault_retry: 5,
+            stall_ecc: 6,
             ..Default::default()
         };
-        assert_eq!(core.total_stalls(), 10);
+        assert_eq!(core.total_stalls(), 21);
     }
 }
