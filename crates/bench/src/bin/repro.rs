@@ -35,9 +35,11 @@ use mempool::experiments::{
     ablations, Claims, ClusterLevel, Evaluation, Fig6, Fig7, Fig8, Fig9, Resilience, Table1, Table2,
 };
 use mempool_arch::SpmCapacity;
+use mempool_bench::regress;
 use mempool_kernels::matmul::PhaseModel;
 use mempool_kernels::measure;
-use mempool_obs::{chrome_trace, ArtifactDir, Json, Obs};
+use mempool_kernels::resilience::DegradedObs;
+use mempool_obs::{chrome_trace_with_counters, ArtifactDir, Json, Obs};
 
 const KNOWN_TARGETS: [&str; 13] = [
     "all",
@@ -55,10 +57,18 @@ const KNOWN_TARGETS: [&str; 13] = [
     "layout",
 ];
 
+/// Exit code for a detected regression (`diff` / `check`); usage and I/O
+/// errors exit 2 to stay distinguishable in CI.
+const EXIT_REGRESSION: u8 = 1;
+const EXIT_ERROR: u8 = 2;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--measure] [--artifacts DIR] [--faults SEED[:RATE]] [--watchdog N] \
-         [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]...\n\
+        "usage: repro [--measure] [--artifacts DIR] [--faults SEED[:RATE]] [--watchdog N]\n\
+         \x20            [--timeseries WINDOW] [--flight N]\n\
+         \x20            [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]...\n\
+         \x20      repro diff BASELINE.json CANDIDATE.json\n\
+         \x20      repro check --baseline PATH [--bless]\n\
          \n\
          --measure            re-measure workload constants on the simulator\n\
          --artifacts DIR      write JSON/CSV artifacts (figure data, metrics,\n\
@@ -67,9 +77,22 @@ fn usage() -> ExitCode {
                               fault plan from SEED (rate default 1e-6) and\n\
                               propagate it into the Figure 6 headline point\n\
          --watchdog N         arm the deadlock watchdog (N cycles without\n\
-                              forward progress) for the degraded run"
+                              forward progress) for the degraded run\n\
+         --timeseries WINDOW  sample per-epoch time series (IPC, request and\n\
+                              conflict rates, off-chip occupancy) every WINDOW\n\
+                              cycles of the degraded run; exports\n\
+                              timeseries.json/.csv and Perfetto counter tracks\n\
+         --flight N           keep an N-event flight-recorder ring on the\n\
+                              degraded run; a simulator fault dumps it as\n\
+                              crashdump.json\n\
+         \n\
+         diff                 compare two benchmark artifacts metric-by-metric;\n\
+                              exit 1 on regression, 2 on usage/parse errors\n\
+         check                regenerate the pinned summary and compare it to\n\
+                              --baseline PATH (same exit codes); --bless\n\
+                              rewrites the baseline instead"
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_ERROR)
 }
 
 /// Default fault rate when `--faults SEED` omits the `:RATE` suffix.
@@ -83,6 +106,8 @@ struct Options {
     artifacts: Option<String>,
     faults: Option<(u64, f64)>,
     watchdog: Option<u64>,
+    timeseries: Option<u64>,
+    flight: Option<usize>,
 }
 
 /// Parses `SEED[:RATE]`. Both parts are validated strictly: a non-numeric
@@ -121,6 +146,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut artifacts = None;
     let mut faults = None;
     let mut watchdog = None;
+    let mut timeseries = None;
+    let mut flight = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -146,6 +173,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 _ => return Err("--watchdog requires a cycle-count argument".to_string()),
             },
+            "--timeseries" => match it.next() {
+                Some(value) if !value.starts_with("--") => {
+                    let window = value.parse::<u64>().map_err(|_| {
+                        format!("--timeseries: window must be an unsigned integer, got {value:?}")
+                    })?;
+                    if window == 0 {
+                        return Err("--timeseries: window must be nonzero".to_string());
+                    }
+                    timeseries = Some(window);
+                }
+                _ => return Err("--timeseries requires a cycle-window argument".to_string()),
+            },
+            "--flight" => match it.next() {
+                Some(value) if !value.starts_with("--") => {
+                    let capacity = value.parse::<usize>().map_err(|_| {
+                        format!("--flight: capacity must be an unsigned integer, got {value:?}")
+                    })?;
+                    if capacity == 0 {
+                        return Err("--flight: capacity must be nonzero".to_string());
+                    }
+                    flight = Some(capacity);
+                }
+                _ => return Err("--flight requires an event-count argument".to_string()),
+            },
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}"));
             }
@@ -166,7 +217,100 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         artifacts,
         faults,
         watchdog,
+        timeseries,
+        flight,
     })
+}
+
+/// Reads and parses a JSON artifact, mapping both failure modes to one
+/// printable message.
+fn load_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+}
+
+/// `repro diff BASELINE.json CANDIDATE.json` — compares two artifacts.
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let [baseline_path, candidate_path] = args else {
+        eprintln!("repro diff: expected exactly two artifact paths");
+        return usage();
+    };
+    let (baseline, candidate) = match (load_json(baseline_path), load_json(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("repro diff: {e}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    let cmp = regress::compare(&baseline, &candidate);
+    print!("{}", cmp.to_text());
+    if cmp.is_regression() {
+        ExitCode::from(EXIT_REGRESSION)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `repro check --baseline PATH [--bless]` — regenerates the pinned
+/// summary and gates it against (or rewrites) the committed baseline.
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut baseline_path = None;
+    let mut bless = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(path) if !path.starts_with("--") => baseline_path = Some(path.clone()),
+                _ => {
+                    eprintln!("repro check: --baseline requires a file argument");
+                    return usage();
+                }
+            },
+            "--bless" => bless = true,
+            other => {
+                eprintln!("repro check: unexpected argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(baseline_path) = baseline_path else {
+        eprintln!("repro check: --baseline PATH is required");
+        return usage();
+    };
+
+    eprintln!(
+        "regenerating pinned summary (seed {}, rate {:.1e}) ...",
+        mempool_bench::BASELINE_FAULT_SEED,
+        mempool_bench::BASELINE_FAULT_RATE
+    );
+    let current = mempool_bench::bench_summary();
+    if bless {
+        if let Err(e) = std::fs::write(&baseline_path, current.to_pretty()) {
+            eprintln!("repro check: cannot write {baseline_path}: {e}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+        println!("blessed: wrote current summary to {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match load_json(&baseline_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("repro check: {e}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    let cmp = regress::compare(&baseline, &current);
+    print!("{}", cmp.to_text());
+    if cmp.is_regression() {
+        eprintln!(
+            "repro check: regression against {baseline_path} \
+             (bless intentional changes with --bless)"
+        );
+        ExitCode::from(EXIT_REGRESSION)
+    } else {
+        println!("check passed against {baseline_path}");
+        ExitCode::SUCCESS
+    }
 }
 
 fn model_json(model: &PhaseModel) -> Json {
@@ -181,6 +325,11 @@ fn model_json(model: &PhaseModel) -> Json {
 fn main() -> ExitCode {
     let wall_start = Instant::now();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => return cmd_diff(&args[1..]),
+        Some("check") => return cmd_check(&args[1..]),
+        _ => {}
+    }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
         Err(msg) => {
@@ -324,15 +473,38 @@ fn main() -> ExitCode {
     let resilience = match opts.faults {
         Some((seed, rate)) => {
             eprintln!("measuring degraded run (seed {seed}, rate {rate:.1e}) ...");
-            match Resilience::with_model(model, seed, rate, opts.watchdog) {
+            let hooks = DegradedObs {
+                obs: obs.clone(),
+                timeseries_window: opts.timeseries,
+                flight_capacity: opts.flight,
+            };
+            match Resilience::with_model_observed(model, seed, rate, opts.watchdog, Some(&hooks)) {
                 Ok(r) => {
                     if !emit("resilience", r.to_text(), Some(r.to_json())) {
                         return ExitCode::FAILURE;
                     }
                     Some(r)
                 }
-                Err(e) => {
-                    eprintln!("repro: degraded run failed: {e}");
+                Err(failure) => {
+                    eprintln!("repro: degraded run failed: {failure}");
+                    // A simulator fault leaves a flight-recorder dump
+                    // behind; make it land somewhere inspectable even
+                    // without --artifacts.
+                    if let Some(dump) = &failure.crash_dump {
+                        let written = match artifacts.as_mut() {
+                            Some(art) => art.write_json("crashdump.json", dump),
+                            None => {
+                                let path = std::path::PathBuf::from("crashdump.json");
+                                std::fs::write(&path, dump.to_pretty()).map(|()| path)
+                            }
+                        };
+                        match written {
+                            Ok(path) => {
+                                eprintln!("repro: crash dump written to {}", path.display())
+                            }
+                            Err(e) => eprintln!("repro: writing crashdump.json: {e}"),
+                        }
+                    }
                     return ExitCode::FAILURE;
                 }
             }
@@ -376,7 +548,17 @@ fn write_summary_artifacts(
     let snapshot = obs.metrics.snapshot();
     art.write_json("metrics.json", &snapshot.to_json())?;
     art.write_text("metrics.csv", &snapshot.to_csv())?;
-    art.write_json("trace.json", &chrome_trace(&obs.spans))?;
+    // Sampled time series ride along both as standalone artifacts and as
+    // Perfetto counter tracks merged into the span trace.
+    let series = (!obs.series.is_empty()).then_some(&obs.series);
+    art.write_json(
+        "trace.json",
+        &chrome_trace_with_counters(&obs.spans, series),
+    )?;
+    if let Some(series) = series {
+        art.write_json("timeseries.json", &series.to_json())?;
+        art.write_text("timeseries.csv", &series.to_csv())?;
+    }
 
     // Cycle counts of the modeled matmul at the Section VI-B bandwidth,
     // one per SPM capacity.
@@ -490,5 +672,26 @@ mod tests {
         assert!(parse_args(&argv(&["--faults", "--measure"])).is_err());
         assert!(parse_args(&argv(&["--watchdog", "--measure"])).is_err());
         assert!(parse_args(&argv(&["--artifacts", "--measure"])).is_err());
+        assert!(parse_args(&argv(&["--timeseries", "--measure"])).is_err());
+        assert!(parse_args(&argv(&["--flight", "--measure"])).is_err());
+    }
+
+    #[test]
+    fn timeseries_and_flight_flags_parse_and_reject_zero() {
+        let opts = parse_args(&argv(&[
+            "fig6",
+            "--faults",
+            "42",
+            "--timeseries",
+            "1024",
+            "--flight",
+            "256",
+        ]))
+        .unwrap();
+        assert_eq!(opts.timeseries, Some(1024));
+        assert_eq!(opts.flight, Some(256));
+        assert!(parse_args(&argv(&["--timeseries", "0"])).is_err());
+        assert!(parse_args(&argv(&["--flight", "0"])).is_err());
+        assert!(parse_args(&argv(&["--timeseries", "soon"])).is_err());
     }
 }

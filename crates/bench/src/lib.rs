@@ -12,6 +12,90 @@
 //! * `performance_sweep` — Figures 7-9 (the combined evaluation);
 //! * `simulator` — raw simulator throughput on the kernel zoo.
 
+pub mod regress;
+
+/// The pinned fault seed the regression baseline is generated with.
+pub const BASELINE_FAULT_SEED: u64 = 42;
+/// The pinned fault rate of the baseline degraded run.
+pub const BASELINE_FAULT_RATE: f64 = 1e-6;
+/// Watchdog threshold armed for the baseline degraded run.
+pub const BASELINE_WATCHDOG: u64 = 2_000_000;
+
+/// Produces the deterministic benchmark summary the regression gate
+/// compares against (`repro check`). Everything in it is pinned: the
+/// recorded workload constants, the analytic matmul cycle counts, and a
+/// degraded run under the fixed `(seed, rate)` fault plan. No wall-clock
+/// or host-dependent value appears, so two runs of the same code produce
+/// byte-identical documents.
+///
+/// # Panics
+///
+/// Panics if the pinned-seed degraded run fails — the baseline scenario
+/// is expected to always complete (a failure here is itself a
+/// regression).
+pub fn bench_summary() -> mempool_obs::Json {
+    use mempool::experiments::Resilience;
+    use mempool_arch::SpmCapacity;
+    use mempool_kernels::matmul::PhaseModel;
+    use mempool_obs::Json;
+
+    let model = PhaseModel::with_measured_defaults();
+    let cycles = SpmCapacity::ALL
+        .iter()
+        .map(|&cap| {
+            Json::obj([
+                ("capacity", Json::str(cap.to_string())),
+                ("total_cycles", Json::Float(model.total_cycles(cap, 16))),
+            ])
+        })
+        .collect();
+    let resilience = Resilience::with_model(
+        model,
+        BASELINE_FAULT_SEED,
+        BASELINE_FAULT_RATE,
+        Some(BASELINE_WATCHDOG),
+    )
+    .expect("the pinned-seed degraded run must complete");
+    let run = resilience.run();
+    Json::obj([
+        ("schema", Json::str("mempool-bench-summary/v1")),
+        ("cycles_per_mac", Json::Float(model.cycles_per_mac)),
+        ("phase_overhead", Json::Float(model.phase_overhead)),
+        ("matmul_cycles_at_16B_per_cycle", Json::Arr(cycles)),
+        (
+            "resilience",
+            Json::obj([
+                ("seed", Json::Int(run.seed as i64)),
+                ("rate", Json::Float(run.rate)),
+                ("clean_phase_cycles", Json::Int(run.clean_cycles as i64)),
+                (
+                    "degraded_phase_cycles",
+                    Json::Int(run.degraded_cycles as i64),
+                ),
+                ("overhead", Json::Float(run.overhead())),
+                ("injected_events", Json::Int(run.events as i64)),
+                (
+                    "retried_accesses",
+                    Json::Int(run.report.retried_accesses as i64),
+                ),
+                ("ecc_corrected", Json::Int(run.report.ecc_corrected as i64)),
+                (
+                    "remapped_banks",
+                    Json::Int(run.report.remapped.len() as i64),
+                ),
+                (
+                    "clean_fig6_speedup",
+                    Json::Float(resilience.clean_speedup()),
+                ),
+                (
+                    "degraded_fig6_speedup",
+                    Json::Float(resilience.degraded_speedup()),
+                ),
+            ]),
+        ),
+    ])
+}
+
 /// Renders every experiment to one report string.
 pub fn full_report() -> String {
     use mempool::experiments::{Evaluation, Fig6, Fig7, Fig8, Fig9, Table1, Table2};
@@ -34,6 +118,22 @@ pub fn full_report() -> String {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn bench_summary_is_deterministic_and_self_consistent() {
+        use mempool_obs::Json;
+        let a = super::bench_summary();
+        let b = super::bench_summary();
+        assert_eq!(a.to_pretty(), b.to_pretty(), "the gate needs determinism");
+        let doc = Json::parse(&a.to_pretty()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("mempool-bench-summary/v1")
+        );
+        let cmp = super::regress::compare(&a, &b);
+        assert!(!cmp.is_regression());
+        assert_eq!(cmp.regressions.len() + cmp.missing.len(), 0);
+    }
+
     #[test]
     fn full_report_contains_every_experiment() {
         let report = super::full_report();

@@ -10,7 +10,9 @@
 
 use mempool_arch::SpmCapacity;
 use mempool_kernels::matmul::PhaseModel;
-use mempool_kernels::resilience::{degraded_compute_run, DegradedRun};
+use mempool_kernels::resilience::{
+    degraded_compute_run_observed, DegradedFailure, DegradedObs, DegradedRun,
+};
 use mempool_kernels::KernelError;
 use mempool_obs::Json;
 
@@ -50,7 +52,27 @@ impl Resilience {
         rate: f64,
         watchdog: Option<u64>,
     ) -> Result<Self, KernelError> {
-        let run = degraded_compute_run(seed, rate, watchdog)?;
+        Self::with_model_observed(model, seed, rate, watchdog, None)
+            .map_err(|failure| failure.error)
+    }
+
+    /// [`Self::with_model`] with observability hooks for the degraded run
+    /// (shared span/metric recording, time-series sampling, flight
+    /// recording — see [`DegradedObs`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failures as [`Self::with_model`]; simulator faults additionally
+    /// carry a ready-to-write crash dump in the returned
+    /// [`DegradedFailure`].
+    pub fn with_model_observed(
+        model: PhaseModel,
+        seed: u64,
+        rate: f64,
+        watchdog: Option<u64>,
+        hooks: Option<&DegradedObs>,
+    ) -> Result<Self, Box<DegradedFailure>> {
+        let run = degraded_compute_run_observed(seed, rate, watchdog, hooks)?;
         let scale = 1.0 + run.overhead();
         let degraded_model = PhaseModel {
             cycles_per_mac: model.cycles_per_mac * scale,

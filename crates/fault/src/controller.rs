@@ -7,6 +7,7 @@
 //! SEC-DED [`EccState`], and accumulates the [`FaultReport`].
 
 use mempool_arch::{BankId, BankLocation, TileId};
+use mempool_obs::FlightRecorder;
 
 use crate::ecc::{EccOutcome, EccState};
 use crate::plan::{DeadLinkPolicy, FaultEvent, FaultPlan};
@@ -53,6 +54,7 @@ pub struct FaultController {
     stuck: Vec<(TileId, BankId)>,
     dead_link_policy: DeadLinkPolicy,
     report: FaultReport,
+    flight: Option<FlightRecorder>,
 }
 
 impl FaultController {
@@ -109,6 +111,19 @@ impl FaultController {
             stuck,
             dead_link_policy: plan.dead_link_policy(),
             report,
+            flight: None,
+        }
+    }
+
+    /// Mirrors fault activity (timed-fault delivery, ECC outcomes, retries,
+    /// black holes, remaps) into a shared flight-event ring.
+    pub fn attach_flight(&mut self, flight: FlightRecorder) {
+        self.flight = Some(flight);
+    }
+
+    fn emit(&self, cycle: u64, category: &str, core: Option<u32>, message: String) {
+        if let Some(flight) = &self.flight {
+            flight.record(cycle, category, core, message);
         }
     }
 
@@ -137,6 +152,20 @@ impl FaultController {
             if at > cycle {
                 break;
             }
+            match fault {
+                TimedFault::Flip { loc, mask } => self.emit(
+                    cycle,
+                    "fault",
+                    None,
+                    format!(
+                        "transient flip mask {mask:#x} at tile {} bank {} word {}",
+                        loc.tile.0, loc.bank.0, loc.word
+                    ),
+                ),
+                TimedFault::Hang { core } => {
+                    self.emit(cycle, "fault", Some(core), format!("core {core} hung"));
+                }
+            }
             due.push(fault);
             self.cursor += 1;
         }
@@ -149,10 +178,32 @@ impl FaultController {
     }
 
     /// ECC check on a read of `stored` at `loc`; corrections are counted.
-    pub fn ecc_read(&mut self, loc: BankLocation, stored: u32) -> EccOutcome {
+    /// Non-clean outcomes are mirrored to the flight ring at `cycle`.
+    pub fn ecc_read(&mut self, cycle: u64, loc: BankLocation, stored: u32) -> EccOutcome {
         let outcome = self.ecc.on_read(loc, stored);
-        if matches!(outcome, EccOutcome::Corrected { .. }) {
-            self.report.ecc_corrected += 1;
+        match outcome {
+            EccOutcome::Corrected { .. } => {
+                self.report.ecc_corrected += 1;
+                self.emit(
+                    cycle,
+                    "ecc",
+                    None,
+                    format!(
+                        "corrected single-bit flip at tile {} bank {} word {}",
+                        loc.tile.0, loc.bank.0, loc.word
+                    ),
+                );
+            }
+            EccOutcome::Uncorrectable { mask } => self.emit(
+                cycle,
+                "ecc",
+                None,
+                format!(
+                    "uncorrectable mask {mask:#x} at tile {} bank {} word {}",
+                    loc.tile.0, loc.bank.0, loc.word
+                ),
+            ),
+            EccOutcome::Clean => {}
         }
         outcome
     }
@@ -175,6 +226,15 @@ impl FaultController {
 
     /// Records a spare-bank substitution.
     pub fn record_remap(&mut self, tile: TileId, from: BankId, to: BankId) {
+        self.emit(
+            0,
+            "fault",
+            None,
+            format!(
+                "stuck bank {} on tile {} remapped to spare {}",
+                from.0, tile.0, to.0
+            ),
+        );
         self.report.remapped.push(RemappedBank {
             tile: tile.0,
             from_bank: from.0,
@@ -182,14 +242,31 @@ impl FaultController {
         });
     }
 
-    /// Records one retried access costing `extra` cycles.
-    pub fn record_retry(&mut self, extra: u64) {
+    /// Records one retried access through `tile`'s degraded link at
+    /// `cycle`, costing `extra` cycles.
+    pub fn record_retry(&mut self, cycle: u64, tile: TileId, extra: u64) {
+        self.emit(
+            cycle,
+            "fault",
+            None,
+            format!(
+                "retry through degraded link of tile {} (+{extra} cycles)",
+                tile.0
+            ),
+        );
         self.report.retried_accesses += 1;
         self.report.retry_cycles += extra;
     }
 
-    /// Records a request dropped by a dead link.
-    pub fn record_blackhole(&mut self) {
+    /// Records a request from `core` dropped by `tile`'s dead link at
+    /// `cycle`.
+    pub fn record_blackhole(&mut self, cycle: u64, tile: TileId, core: u32) {
+        self.emit(
+            cycle,
+            "fault",
+            Some(core),
+            format!("request black-holed by dead link of tile {}", tile.0),
+        );
         self.report.blackholed_requests += 1;
     }
 
@@ -285,15 +362,15 @@ mod tests {
     #[test]
     fn report_tracks_runtime_counters_and_latent_errors() {
         let mut ctrl = FaultController::new(&FaultPlan::new(7), 1);
-        ctrl.record_retry(5);
-        ctrl.record_retry(5);
-        ctrl.record_blackhole();
+        ctrl.record_retry(10, TileId(0), 5);
+        ctrl.record_retry(11, TileId(0), 5);
+        ctrl.record_blackhole(12, TileId(0), 0);
         ctrl.record_remap(TileId(0), BankId(1), BankId(4));
         ctrl.note_flip(loc(0, 0, 0), 1);
         ctrl.note_flip(loc(0, 0, 1), 1);
         // Reading one corrects it; the other stays latent.
         assert!(matches!(
-            ctrl.ecc_read(loc(0, 0, 0), 1),
+            ctrl.ecc_read(13, loc(0, 0, 0), 1),
             EccOutcome::Corrected { value: 0 }
         ));
         let report = ctrl.report();
@@ -303,5 +380,40 @@ mod tests {
         assert_eq!(report.remapped.len(), 1);
         assert_eq!(report.ecc_corrected, 1);
         assert_eq!(report.ecc_pending, 1);
+    }
+
+    #[test]
+    fn attached_flight_ring_mirrors_fault_activity() {
+        let flight = FlightRecorder::new();
+        let mut ctrl = FaultController::new(&plan_with_everything(), 4);
+        ctrl.attach_flight(flight.clone());
+        ctrl.take_due(100);
+        ctrl.record_retry(101, TileId(1), 6);
+        ctrl.record_blackhole(102, TileId(2), 9);
+        ctrl.note_flip(loc(0, 0, 7), 1);
+        let _ = ctrl.ecc_read(103, loc(0, 0, 7), 1);
+        let _ = ctrl.ecc_read(104, loc(0, 0, 7), 0); // clean: no event
+
+        let events = flight.events();
+        // 3 timed faults + retry + blackhole + 1 ECC correction.
+        assert_eq!(events.len(), 6);
+        assert!(events.iter().take(5).all(|e| e.category == "fault"));
+        assert_eq!(events[3].cycle, 101);
+        assert!(events[3].message.contains("degraded link of tile 1"));
+        assert_eq!(events[4].core, Some(9));
+        assert_eq!(events[5].category, "ecc");
+        let hang = events
+            .iter()
+            .find(|e| e.message.contains("hung"))
+            .expect("hang event");
+        assert_eq!(hang.core, Some(3));
+    }
+
+    #[test]
+    fn detached_controller_stays_silent() {
+        let mut ctrl = FaultController::new(&plan_with_everything(), 4);
+        // No flight attached: emission is a no-op, not a panic.
+        ctrl.take_due(100);
+        ctrl.record_retry(1, TileId(0), 2);
     }
 }

@@ -10,6 +10,8 @@
 
 use std::fmt;
 
+use mempool_obs::Json;
+
 /// Forward-progress watchdog: fires after `threshold` cycles without any
 /// retired instruction or delivered memory response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +52,7 @@ impl Watchdog {
 }
 
 /// Snapshot of one core's state at deadlock time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CoreDiagnostic {
     /// Global core index.
     pub core: u32,
@@ -65,6 +67,9 @@ pub struct CoreDiagnostic {
     pub outstanding: u32,
     /// Instructions retired before the deadlock.
     pub retired: u64,
+    /// The core's last few retired instructions (formatted trace lines,
+    /// oldest first), when instruction tracing was enabled.
+    pub recent: Vec<String>,
 }
 
 impl CoreDiagnostic {
@@ -82,6 +87,23 @@ impl CoreDiagnostic {
             "runnable"
         }
     }
+
+    /// Serializes the snapshot as a JSON object (for `crashdump.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("core", Json::Int(i64::from(self.core))),
+            ("condition", Json::str(self.condition())),
+            ("pc", Json::Int(i64::from(self.pc))),
+            ("halted", Json::Bool(self.halted)),
+            ("hung", Json::Bool(self.hung)),
+            ("outstanding", Json::Int(i64::from(self.outstanding))),
+            ("retired", Json::Int(self.retired as i64)),
+            (
+                "recent",
+                Json::Arr(self.recent.iter().map(|l| Json::Str(l.clone())).collect()),
+            ),
+        ])
+    }
 }
 
 impl fmt::Display for CoreDiagnostic {
@@ -94,7 +116,11 @@ impl fmt::Display for CoreDiagnostic {
             self.pc,
             self.outstanding,
             self.retired
-        )
+        )?;
+        for line in &self.recent {
+            write!(f, "\n    {line}")?;
+        }
+        Ok(())
     }
 }
 
@@ -130,20 +156,27 @@ mod tests {
             hung: false,
             outstanding: 1,
             retired: 17,
+            recent: Vec::new(),
         };
         assert_eq!(d.condition(), "wfi-with-outstanding");
         let text = d.to_string();
         assert!(text.contains("core   3"));
         assert!(text.contains("outstanding=1"));
 
-        let hung = CoreDiagnostic { hung: true, ..d };
+        let hung = CoreDiagnostic {
+            hung: true,
+            ..d.clone()
+        };
         assert_eq!(hung.condition(), "hung");
         let halted = CoreDiagnostic {
             outstanding: 0,
-            ..d
+            ..d.clone()
         };
         assert_eq!(halted.condition(), "halted");
-        let waiting = CoreDiagnostic { halted: false, ..d };
+        let waiting = CoreDiagnostic {
+            halted: false,
+            ..d.clone()
+        };
         assert_eq!(waiting.condition(), "waiting-on-memory");
         let runnable = CoreDiagnostic {
             halted: false,
@@ -151,5 +184,37 @@ mod tests {
             ..d
         };
         assert_eq!(runnable.condition(), "runnable");
+    }
+
+    #[test]
+    fn display_appends_recent_instruction_window() {
+        let d = CoreDiagnostic {
+            core: 1,
+            outstanding: 1,
+            recent: vec!["100  1  0x80  lw x5, 0(x6)".to_string()],
+            ..CoreDiagnostic::default()
+        };
+        let text = d.to_string();
+        assert!(text.contains("waiting-on-memory"));
+        assert!(text.contains("\n    100  1  0x80  lw x5, 0(x6)"));
+    }
+
+    #[test]
+    fn diagnostic_json_parses_and_carries_recent_window() {
+        let d = CoreDiagnostic {
+            core: 2,
+            pc: 0x80,
+            hung: true,
+            retired: 42,
+            recent: vec!["a".to_string(), "b".to_string()],
+            ..CoreDiagnostic::default()
+        };
+        let doc = Json::parse(&d.to_json().to_pretty()).unwrap();
+        assert_eq!(doc.get("condition").and_then(Json::as_str), Some("hung"));
+        assert_eq!(doc.get("retired").and_then(Json::as_int), Some(42));
+        assert_eq!(
+            doc.get("recent").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
     }
 }

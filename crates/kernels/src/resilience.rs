@@ -14,7 +14,7 @@
 
 use mempool_arch::ClusterConfig;
 use mempool_fault::{FaultConfig, FaultPlan, FaultReport};
-use mempool_obs::{AttributionReport, Json};
+use mempool_obs::{AttributionReport, Json, Obs};
 use mempool_sim::{Cluster, SimParams};
 
 use crate::matmul::ComputePhase;
@@ -90,6 +90,39 @@ fn resilience_cluster() -> Result<Cluster, KernelError> {
     Ok(Cluster::new(cfg, SimParams::default()))
 }
 
+/// Observability hooks for the degraded run: an [`Obs`] bundle the
+/// degraded cluster attaches to, plus optional time-series sampling and
+/// flight recording. The flight recorder implies instruction tracing so a
+/// crash dump carries each core's recent-instruction window.
+#[derive(Debug, Clone, Default)]
+pub struct DegradedObs {
+    /// Shared observability bundle (clones share state).
+    pub obs: Obs,
+    /// Epoch length in cycles for time-series sampling, when wanted.
+    pub timeseries_window: Option<u64>,
+    /// Flight-recorder ring capacity, when wanted.
+    pub flight_capacity: Option<usize>,
+}
+
+/// A failed degraded run: the error, plus — when the simulator itself
+/// faulted — a self-contained crash dump ready to write as
+/// `crashdump.json`.
+#[derive(Debug)]
+pub struct DegradedFailure {
+    /// What went wrong.
+    pub error: KernelError,
+    /// [`Cluster::crash_dump`] output for simulator faults (`None` for
+    /// shape/assembly/verification failures, which have no cluster state
+    /// worth dumping).
+    pub crash_dump: Option<Json>,
+}
+
+impl std::fmt::Display for DegradedFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
 /// Runs one compute phase clean, then again under the deterministic fault
 /// plan generated from `(seed, rate)`, and returns the comparison. The
 /// timed-fault horizon is set to the clean run's length so transient flips
@@ -105,19 +138,65 @@ pub fn degraded_compute_run(
     rate: f64,
     watchdog: Option<u64>,
 ) -> Result<DegradedRun, KernelError> {
+    degraded_compute_run_observed(seed, rate, watchdog, None).map_err(|failure| failure.error)
+}
+
+/// [`degraded_compute_run`] with observability: when `hooks` is given, the
+/// degraded cluster records spans/metrics into the shared [`Obs`] and
+/// optionally samples time series and keeps a flight-recorder ring. On a
+/// simulator fault the returned [`DegradedFailure`] carries a full crash
+/// dump (flight events, per-core liveness, metrics, and counter-track
+/// trace) regardless of whether hooks were attached — without hooks the
+/// dump simply degrades to its obs-free sections.
+///
+/// # Errors
+///
+/// Same failures as [`degraded_compute_run`], wrapped with the dump.
+pub fn degraded_compute_run_observed(
+    seed: u64,
+    rate: f64,
+    watchdog: Option<u64>,
+    hooks: Option<&DegradedObs>,
+) -> Result<DegradedRun, Box<DegradedFailure>> {
+    let plain = |error: KernelError| {
+        Box::new(DegradedFailure {
+            error,
+            crash_dump: None,
+        })
+    };
     let phase = ComputePhase::new(32);
 
-    let mut clean = resilience_cluster()?;
-    let clean_cycles = phase.run(&mut clean, BUDGET)?;
+    let mut clean = resilience_cluster().map_err(plain)?;
+    let clean_cycles = phase.run(&mut clean, BUDGET).map_err(plain)?;
+    drop(clean);
 
-    let mut degraded = resilience_cluster()?;
+    let mut degraded = resilience_cluster().map_err(plain)?;
+    if let Some(hooks) = hooks {
+        degraded.attach_obs(&hooks.obs, "degraded");
+        if let Some(window) = hooks.timeseries_window {
+            degraded.enable_timeseries(window);
+        }
+        if let Some(capacity) = hooks.flight_capacity {
+            degraded.enable_flight(capacity);
+            degraded.enable_trace(capacity);
+        }
+    }
     let fault_cfg = FaultConfig::new(seed, rate).with_horizon(clean_cycles.max(1));
     let plan = FaultPlan::generate(&fault_cfg, degraded.config());
-    degraded.inject_faults(&plan)?;
+    degraded.inject_faults(&plan).map_err(|e| plain(e.into()))?;
     if let Some(threshold) = watchdog {
         degraded.set_watchdog(threshold);
     }
-    let degraded_cycles = phase.run(&mut degraded, BUDGET)?;
+    let degraded_cycles = match phase.run(&mut degraded, BUDGET) {
+        Ok(cycles) => cycles,
+        Err(error) => {
+            let crash_dump = match &error {
+                KernelError::Sim(sim) => Some(degraded.crash_dump(sim)),
+                _ => None,
+            };
+            return Err(Box::new(DegradedFailure { error, crash_dump }));
+        }
+    };
 
     let stats = degraded.stats();
     let attribution = stats.attribution(
@@ -127,6 +206,8 @@ pub fn degraded_compute_run(
     let report = degraded
         .fault_report()
         .expect("a plan was injected, so a report exists");
+    // Close any still-open spans so the caller's trace export is balanced.
+    degraded.detach_obs();
     Ok(DegradedRun {
         seed,
         rate,
@@ -160,6 +241,57 @@ mod tests {
             assert_eq!(core.total(), run.attribution.cycles);
         }
         assert!(run.attribution.cluster.fault_retry > 0);
+    }
+
+    #[test]
+    fn observed_run_fills_the_shared_series_and_flight_ring() {
+        let hooks = DegradedObs {
+            obs: Obs::new(),
+            timeseries_window: Some(256),
+            flight_capacity: Some(128),
+        };
+        let run = degraded_compute_run_observed(42, 1e-6, Some(2_000_000), Some(&hooks)).unwrap();
+        assert!(run.degraded_cycles > run.clean_cycles);
+        assert!(
+            !hooks.obs.series.is_empty(),
+            "epoch sampling must produce tracks"
+        );
+        assert!(
+            !hooks.obs.flight.is_empty(),
+            "served requests must land in the flight ring"
+        );
+    }
+
+    #[test]
+    fn a_hair_trigger_watchdog_fails_with_a_crash_dump() {
+        // Threshold 1 deadlocks the degraded run on its first stall
+        // cycle; the failure must carry a parseable dump.
+        let hooks = DegradedObs {
+            obs: Obs::new(),
+            timeseries_window: Some(64),
+            flight_capacity: Some(64),
+        };
+        let failure = degraded_compute_run_observed(42, 1e-6, Some(1), Some(&hooks)).unwrap_err();
+        assert!(matches!(failure.error, KernelError::Sim(_)));
+        let dump = failure.crash_dump.expect("sim faults carry a dump");
+        let doc = Json::parse(&dump.to_pretty()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("mempool-crashdump/v1")
+        );
+        assert!(!doc
+            .get("liveness")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+        // Even though no 64-cycle epoch boundary was reached, the dump
+        // flushes the partial epoch so counter tracks are present.
+        let series = doc
+            .get("timeseries")
+            .and_then(|t| t.get("series"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert!(!series.is_empty(), "partial epoch must be flushed");
     }
 
     #[test]

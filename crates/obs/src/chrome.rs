@@ -11,6 +11,7 @@
 
 use crate::json::Json;
 use crate::span::SpanRecorder;
+use crate::timeseries::TimeSeries;
 
 /// Builds the Chrome Trace Event document for all completed spans.
 ///
@@ -18,8 +19,39 @@ use crate::span::SpanRecorder;
 /// order respects nesting: ends before begins, deeper ends first, shallower
 /// begins first — so the viewer's per-thread stack never sees an overlap.
 pub fn chrome_trace(recorder: &SpanRecorder) -> Json {
+    chrome_trace_with_counters(recorder, None)
+}
+
+/// [`chrome_trace`] plus Perfetto *counter tracks* from a [`TimeSeries`].
+///
+/// Each series becomes one `ph: "C"` counter named after it, placed on a
+/// synthetic "counters" process so its line charts group below the span
+/// timelines in the viewer.
+pub fn chrome_trace_with_counters(recorder: &SpanRecorder, series: Option<&TimeSeries>) -> Json {
     let inner = recorder.inner.borrow();
     let mut events: Vec<(u64, u8, i64, Json)> = Vec::new();
+
+    if let Some(series) = series.filter(|s| !s.is_empty()) {
+        // Counter events get sort kind 3 so at a shared timestamp they land
+        // after the span transitions; their pid sits past all real
+        // processes.
+        let pid = inner.processes.len() as u32;
+        events.push((0, 0, 0, metadata("process_name", pid, 0, "counters")));
+        series.for_each(|name, sample| {
+            events.push((
+                sample.cycle,
+                3,
+                0,
+                Json::obj([
+                    ("name", Json::Str(name.to_string())),
+                    ("ph", Json::str("C")),
+                    ("ts", Json::Int(sample.cycle as i64)),
+                    ("pid", Json::Int(i64::from(pid))),
+                    ("args", Json::obj([("value", Json::Float(sample.value))])),
+                ]),
+            ));
+        });
+    }
 
     for (pid, name) in inner.processes.iter().enumerate() {
         events.push((0, 0, 0, metadata("process_name", pid as u32, 0, name)));
@@ -178,5 +210,50 @@ mod tests {
         let trace = chrome_trace(&nested_recorder());
         let text = trace.to_pretty();
         assert_eq!(Json::parse(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn counter_tracks_ride_on_a_dedicated_process() {
+        let series = TimeSeries::new();
+        series.push("ipc/tile0", 1000, 0.5);
+        series.push("ipc/tile0", 2000, 0.75);
+        series.push("conflicts", 1000, 3.0);
+        let trace = chrome_trace_with_counters(&nested_recorder(), Some(&series));
+        let evs = events(&trace);
+        let counters: Vec<&&Json> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 3);
+        // The counter pid must not collide with any span process (pid 0).
+        let pid = counters[0].get("pid").and_then(Json::as_int).unwrap();
+        assert_eq!(pid, 1);
+        assert!(evs.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("pid").and_then(Json::as_int) == Some(pid)
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    == Some("counters")
+        }));
+        assert!(counters.iter().all(|e| {
+            e.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64)
+                .is_some()
+        }));
+        assert_eq!(Json::parse(&trace.to_pretty()).unwrap(), trace);
+    }
+
+    #[test]
+    fn empty_series_emits_no_counter_process() {
+        let series = TimeSeries::new();
+        let trace = chrome_trace_with_counters(&nested_recorder(), Some(&series));
+        assert!(!events(&trace).iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                == Some("counters")
+        }));
     }
 }

@@ -12,6 +12,12 @@
 //!   ([`AttributionReport`]): per core, per tile, and cluster-wide, every
 //!   bucket summing exactly to the simulated cycle count, plus a
 //!   bank-conflict heatmap;
+//! * [`timeseries`] — cycle-sampled per-epoch counter tracks
+//!   ([`TimeSeries`]): how IPC, request rates, and occupancies evolve
+//!   *over* a run, exported as `timeseries.json`/`.csv` and as Perfetto
+//!   counter tracks;
+//! * [`flight`] — a bounded structured-event ring ([`FlightRecorder`])
+//!   dumped into `crashdump.json` when a run dies;
 //! * [`chrome`] — Chrome Trace Event export of span timelines, loadable in
 //!   Perfetto or `chrome://tracing`;
 //! * [`json`] — the self-contained JSON document model the exporters emit
@@ -46,28 +52,37 @@
 pub mod artifacts;
 pub mod attribution;
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod timeseries;
 
 pub use artifacts::ArtifactDir;
 pub use attribution::{
     AttributionReport, BankConflictInput, ConflictHeatmap, CoreCycleInput, CycleBuckets,
 };
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_with_counters};
+pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use span::{ProcessId, Span, SpanRecorder, TrackId};
+pub use timeseries::{Sample, TimeSeries};
 
-/// The combined observability handle: a shared metrics [`Registry`] and a
-/// shared [`SpanRecorder`]. Clones share state, so one `Obs` can be handed
-/// to the simulator, the kernels, and the experiment driver at once.
+/// The combined observability handle: a shared metrics [`Registry`], a
+/// shared [`SpanRecorder`], a shared [`TimeSeries`], and a shared
+/// [`FlightRecorder`]. Clones share state, so one `Obs` can be handed to
+/// the simulator, the kernels, and the experiment driver at once.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// Shared metrics registry.
     pub metrics: Registry,
     /// Shared span recorder.
     pub spans: SpanRecorder,
+    /// Shared cycle-sampled time-series recorder.
+    pub series: TimeSeries,
+    /// Shared flight-event ring.
+    pub flight: FlightRecorder,
 }
 
 impl Obs {
@@ -82,14 +97,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn obs_clones_share_both_sides() {
+    fn obs_clones_share_all_sides() {
         let obs = Obs::new();
         let clone = obs.clone();
         obs.metrics.counter("n", &[]).inc();
         let p = obs.spans.process("run");
         let t = obs.spans.track(p, "a");
         obs.spans.complete(t, "x", 0, 5, vec![]);
+        obs.series.push("ipc", 1000, 0.5);
+        obs.flight.record(3, "retire", Some(0), "nop");
         assert_eq!(clone.metrics.snapshot().counters[0].value, 1);
         assert_eq!(clone.spans.len(), 1);
+        assert_eq!(clone.series.len(), 1);
+        assert_eq!(clone.flight.len(), 1);
     }
 }

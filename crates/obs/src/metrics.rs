@@ -127,6 +127,44 @@ impl Histogram {
             s.sum / s.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts.
+    ///
+    /// The estimate is the upper bound of the bucket the quantile falls
+    /// into; for the implicit `+inf` bucket the observed maximum is
+    /// returned instead. `None` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in 0.0..=1.0");
+        let s = self.state.borrow();
+        quantile_from_buckets(&s.bounds, &s.counts, s.count, s.max, q)
+    }
+}
+
+fn quantile_from_buckets(
+    bounds: &[f64],
+    counts: &[u64],
+    count: u64,
+    max: f64,
+    q: f64,
+) -> Option<f64> {
+    if count == 0 {
+        return None;
+    }
+    // Rank of the quantile observation, 1-based, ceil(q * count) clamped
+    // to at least 1 so q = 0 resolves to the first bucket with data.
+    let rank = ((q * count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(bounds.get(i).copied().unwrap_or(max));
+        }
+    }
+    Some(max)
 }
 
 #[derive(Debug)]
@@ -315,6 +353,24 @@ pub struct HistogramSample {
     pub min: Option<f64>,
     /// Largest observation, if any.
     pub max: Option<f64>,
+}
+
+impl HistogramSample {
+    /// [`Histogram::quantile`] over the frozen bucket counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in 0.0..=1.0");
+        quantile_from_buckets(
+            &self.bounds,
+            &self.counts,
+            self.count,
+            self.max.unwrap_or(f64::NAN),
+            q,
+        )
+    }
 }
 
 /// A frozen, serializable view of a [`Registry`].
@@ -628,6 +684,65 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_panic() {
         Registry::new().histogram("bad", &[], &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile_and_null_extrema() {
+        let reg = Registry::new();
+        let h = reg.histogram("empty", &[], &[1.0, 2.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        let sample = &reg.snapshot().histograms[0];
+        assert_eq!(sample.min, None);
+        assert_eq!(sample.max, None);
+        assert_eq!(sample.quantile(0.99), None);
+    }
+
+    #[test]
+    fn value_above_all_bounds_lands_in_inf_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[], &[1.0, 10.0]);
+        h.observe(1e9);
+        let sample = &reg.snapshot().histograms[0];
+        assert_eq!(sample.counts, vec![0, 0, 1]);
+        // The +inf bucket has no upper bound, so the quantile estimate
+        // falls back to the observed maximum.
+        assert_eq!(h.quantile(1.0), Some(1e9));
+        assert_eq!(sample.quantile(0.5), Some(1e9));
+    }
+
+    #[test]
+    fn quantile_on_single_bucket_histogram() {
+        let reg = Registry::new();
+        let h = reg.histogram("one", &[], &[8.0]);
+        for v in [1.0, 2.0, 3.0] {
+            h.observe(v);
+        }
+        // All observations share the single finite bucket, so every
+        // quantile resolves to its upper bound.
+        assert_eq!(h.quantile(0.0), Some(8.0));
+        assert_eq!(h.quantile(0.5), Some(8.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+    }
+
+    #[test]
+    fn quantile_walks_bucket_boundaries() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[], &[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.6, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.25), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.75), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in 0.0..=1.0")]
+    fn out_of_range_quantile_panics() {
+        Registry::new().histogram("h", &[], &[1.0]).quantile(1.5);
     }
 
     #[test]

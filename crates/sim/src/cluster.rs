@@ -28,7 +28,7 @@ use mempool_fault::{
 };
 use mempool_isa::exec::{self, Issue, MemAccessKind, MemWidth};
 use mempool_isa::{Program, Reg};
-use mempool_obs::{Counter, Json, Obs, TrackId};
+use mempool_obs::{chrome_trace_with_counters, Counter, FlightRecorder, Json, Obs, TrackId};
 
 use crate::core::{Core, Stall};
 use crate::icache::ICache;
@@ -90,6 +90,24 @@ pub enum SimError {
     /// The spare-bank remap policy could not take a faulted bank out of
     /// service.
     Remap(RemapError),
+}
+
+impl SimError {
+    /// Stable, machine-readable discriminant name (used in
+    /// `crashdump.json`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Memory(_) => "memory",
+            SimError::PcOutOfRange { .. } => "pc-out-of-range",
+            SimError::Timeout { .. } => "timeout",
+            SimError::NoProgram => "no-program",
+            SimError::ResumeWithOutstanding { .. } => "resume-with-outstanding",
+            SimError::LinkDead { .. } => "link-dead",
+            SimError::EccUncorrectable { .. } => "ecc-uncorrectable",
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::Remap(_) => "remap",
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -209,6 +227,24 @@ impl ClusterObs {
     }
 }
 
+/// Per-epoch sampling state for the cycle-sampled time-series
+/// (see [`Cluster::enable_timeseries`]). Holds the counter totals at the
+/// previous sample so each epoch records deltas.
+#[derive(Debug)]
+struct Sampler {
+    window: u64,
+    /// Cycle the previous sample was taken at (start of the open epoch).
+    last_cycle: u64,
+    /// First cycle at (or after) which to take the next sample.
+    next_at: u64,
+    retired_per_tile: Vec<u64>,
+    local_accesses: u64,
+    remote_accesses: u64,
+    conflicts: u64,
+    offchip_bytes: u64,
+    spm_touches: u64,
+}
+
 /// Cycle-accurate model of a MemPool cluster.
 ///
 /// See the [crate-level example](crate) for typical use.
@@ -235,6 +271,11 @@ pub struct Cluster {
     faults: Option<FaultController>,
     /// Forward-progress watchdog, armed by [`Cluster::set_watchdog`].
     watchdog: Option<Watchdog>,
+    /// Per-epoch sampling state, armed by [`Cluster::enable_timeseries`].
+    sampler: Option<Sampler>,
+    /// Whether cluster events mirror into the obs flight ring
+    /// (armed by [`Cluster::enable_flight`]).
+    flight_enabled: bool,
 }
 
 impl Cluster {
@@ -272,6 +313,8 @@ impl Cluster {
             remote_issued: vec![0; num_tiles],
             faults: None,
             watchdog: None,
+            sampler: None,
+            flight_enabled: false,
         }
     }
 
@@ -308,12 +351,199 @@ impl Cluster {
 
     /// Detaches the observability handle, closing any spans this cluster
     /// left open (e.g. cores still parked at `wfi`) at the current cycle.
+    /// Time-series sampling and flight recording stop with it.
     pub fn detach_obs(&mut self) {
         if let Some(hooks) = self.obs.take() {
             for &track in &hooks.core_tracks {
                 while hooks.obs.spans.end(track, self.cycle).is_some() {}
             }
         }
+        self.sampler = None;
+        self.flight_enabled = false;
+    }
+
+    /// Enables per-epoch time-series sampling: every `window` cycles (the
+    /// first full epoch ends `window` cycles from now), [`Cluster::step`]
+    /// pushes one sample per series into the attached [`Obs`]'s
+    /// [`mempool_obs::TimeSeries`]:
+    ///
+    /// * `ipc/tile{t}` — instructions retired per cycle, per tile;
+    /// * `l1_local_rate` / `l1_remote_rate` — tile-local and off-tile SPM
+    ///   requests per cycle;
+    /// * `bank_conflict_rate` — bank-conflict cycles per cycle;
+    /// * `offchip_occupancy` — fraction of the epoch's peak off-chip
+    ///   bandwidth consumed by scheduled transfers (can exceed 1 when
+    ///   asynchronous DMA books the port ahead of time);
+    /// * `offchip_backlog` — cycles of already scheduled off-chip work
+    ///   still draining;
+    /// * `outstanding` — in-flight memory transactions across all cores;
+    /// * `spm_touch_rate` — SPM words read or written per cycle (includes
+    ///   DMA word traffic).
+    ///
+    /// Epochs only close inside `step()`; clock jumps (synchronous DMA,
+    /// [`Cluster::advance_to`]) fold into the next sample, whose rates are
+    /// computed over the true elapsed cycles. A zero `window` is clamped
+    /// to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observability handle is attached.
+    pub fn enable_timeseries(&mut self, window: u64) {
+        let hooks = self
+            .obs
+            .as_ref()
+            .expect("attach_obs before enable_timeseries");
+        hooks.obs.series.set_window(window);
+        let window = hooks.obs.series.window();
+        self.sampler = Some(Sampler {
+            window,
+            last_cycle: self.cycle,
+            next_at: self.cycle + window,
+            retired_per_tile: self.retired_per_tile(),
+            local_accesses: 0,
+            remote_accesses: 0,
+            conflicts: 0,
+            offchip_bytes: 0,
+            spm_touches: 0,
+        });
+        let (local, remote) = self.access_totals();
+        let sampler = self.sampler.as_mut().expect("just set");
+        sampler.local_accesses = local;
+        sampler.remote_accesses = remote;
+        sampler.conflicts = self.banks.iter().map(|b| b.stats.conflicts).sum();
+        sampler.offchip_bytes = self.offchip.total_bytes();
+        sampler.spm_touches = self.storage.spm_word_touches();
+    }
+
+    /// Enables flight recording: cluster events (memory transactions, DMA
+    /// transfers, watchdog expiry) and — under fault injection — fault/ECC
+    /// events mirror into the attached [`Obs`]'s
+    /// [`mempool_obs::FlightRecorder`], bounded to the most recent
+    /// `capacity` events. [`Cluster::crash_dump`] folds the ring into
+    /// `crashdump.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observability handle is attached or `capacity` is zero.
+    pub fn enable_flight(&mut self, capacity: usize) {
+        let hooks = self.obs.as_ref().expect("attach_obs before enable_flight");
+        hooks.obs.flight.set_capacity(capacity);
+        self.flight_enabled = true;
+        let flight = hooks.obs.flight.clone();
+        if let Some(faults) = self.faults.as_mut() {
+            faults.attach_flight(flight);
+        }
+    }
+
+    /// The flight ring to record into, when flight recording is on.
+    fn flight_handle(&self) -> Option<FlightRecorder> {
+        if !self.flight_enabled {
+            return None;
+        }
+        self.obs.as_ref().map(|hooks| hooks.obs.flight.clone())
+    }
+
+    /// Instructions retired so far, summed per tile.
+    fn retired_per_tile(&self) -> Vec<u64> {
+        let cores_per_tile = self.config.cores_per_tile() as usize;
+        let mut totals = vec![0u64; self.config.num_tiles() as usize];
+        for (i, core) in self.cores.iter().enumerate() {
+            totals[i / cores_per_tile] += core.stats.retired;
+        }
+        totals
+    }
+
+    /// SPM accesses so far as `(tile-local, off-tile)` totals.
+    fn access_totals(&self) -> (u64, u64) {
+        let mut local = 0u64;
+        let mut remote = 0u64;
+        for core in &self.cores {
+            local += core.stats.accesses[AccessClass::TileLocal as usize];
+            remote += core.stats.accesses[AccessClass::GroupLocal as usize]
+                + core.stats.accesses[AccessClass::Remote as usize];
+        }
+        (local, remote)
+    }
+
+    /// Pushes one sample per series for the window ending at `now`, with
+    /// deltas read against `sampler`'s baselines. The baselines are left
+    /// untouched — [`Self::sample_epoch`] re-baselines afterwards, while
+    /// [`Self::crash_dump`] uses this directly to flush a partial epoch.
+    fn push_samples(&self, sampler: &Sampler, now: u64) {
+        let Some(hooks) = self.obs.as_ref() else {
+            return;
+        };
+        let series = &hooks.obs.series;
+        let retired = self.retired_per_tile();
+        let (local, remote) = self.access_totals();
+        let conflicts: u64 = self.banks.iter().map(|b| b.stats.conflicts).sum();
+        let offchip_bytes = self.offchip.total_bytes();
+        let spm_touches = self.storage.spm_word_touches();
+        let outstanding: u64 = self.cores.iter().map(|c| u64::from(c.outstanding())).sum();
+        let backlog = self.offchip.backlog(now);
+        let peak_bytes_per_cycle = self.offchip.bytes_per_cycle() as f64;
+
+        let elapsed = now.saturating_sub(sampler.last_cycle).max(1) as f64;
+        for (t, (&total, &baseline)) in retired
+            .iter()
+            .zip(sampler.retired_per_tile.iter())
+            .enumerate()
+        {
+            series.push(
+                &format!("ipc/tile{t}"),
+                now,
+                (total - baseline) as f64 / elapsed,
+            );
+        }
+        series.push(
+            "l1_local_rate",
+            now,
+            (local - sampler.local_accesses) as f64 / elapsed,
+        );
+        series.push(
+            "l1_remote_rate",
+            now,
+            (remote - sampler.remote_accesses) as f64 / elapsed,
+        );
+        series.push(
+            "bank_conflict_rate",
+            now,
+            (conflicts - sampler.conflicts) as f64 / elapsed,
+        );
+        series.push(
+            "offchip_occupancy",
+            now,
+            (offchip_bytes - sampler.offchip_bytes) as f64 / (elapsed * peak_bytes_per_cycle),
+        );
+        series.push("offchip_backlog", now, backlog as f64);
+        series.push("outstanding", now, outstanding as f64);
+        series.push(
+            "spm_touch_rate",
+            now,
+            (spm_touches - sampler.spm_touches) as f64 / elapsed,
+        );
+    }
+
+    /// Closes the current sampling epoch: pushes one sample per series and
+    /// re-baselines the counters. Called from `step()` once the clock
+    /// reaches the epoch boundary.
+    fn sample_epoch(&mut self) {
+        let Some(sampler) = self.sampler.take() else {
+            return;
+        };
+        let now = self.cycle;
+        self.push_samples(&sampler, now);
+        let mut sampler = sampler;
+        sampler.retired_per_tile = self.retired_per_tile();
+        let (local, remote) = self.access_totals();
+        sampler.local_accesses = local;
+        sampler.remote_accesses = remote;
+        sampler.conflicts = self.banks.iter().map(|b| b.stats.conflicts).sum();
+        sampler.offchip_bytes = self.offchip.total_bytes();
+        sampler.spm_touches = self.storage.spm_word_touches();
+        sampler.last_cycle = now;
+        sampler.next_at = now + sampler.window;
+        self.sampler = Some(sampler);
     }
 
     /// The cluster configuration.
@@ -398,6 +628,9 @@ impl Cluster {
     /// physical bank).
     pub fn inject_faults(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
         let mut ctrl = FaultController::new(plan, self.config.num_tiles());
+        if let Some(flight) = self.flight_handle() {
+            ctrl.attach_flight(flight);
+        }
         let num_tiles = self.config.num_tiles();
         let mut per_tile = vec![0u32; num_tiles as usize];
         for &(tile, _) in ctrl.stuck_banks() {
@@ -434,19 +667,39 @@ impl Cluster {
         self.faults.as_ref().map(FaultController::report)
     }
 
+    /// How many of a core's most recent retired instructions a
+    /// [`CoreDiagnostic`] carries (when tracing is enabled).
+    const DIAGNOSTIC_RECENT_WINDOW: usize = 8;
+
     /// Snapshot of every core's liveness state (used in deadlock
-    /// diagnostics).
+    /// diagnostics). When instruction tracing is enabled, each snapshot
+    /// carries the core's last few retired instructions.
     pub fn core_diagnostics(&self) -> Vec<CoreDiagnostic> {
         self.cores
             .iter()
             .enumerate()
-            .map(|(i, core)| CoreDiagnostic {
-                core: i as u32,
-                pc: core.pc,
-                halted: core.halted(),
-                hung: core.hung(),
-                outstanding: core.outstanding(),
-                retired: core.stats.retired,
+            .map(|(i, core)| {
+                let recent = self
+                    .trace
+                    .as_ref()
+                    .map(|trace| {
+                        let lines: Vec<String> = trace
+                            .for_core(GlobalCoreId::new(i as u32))
+                            .map(TraceEntry::to_string)
+                            .collect();
+                        let keep = lines.len().saturating_sub(Self::DIAGNOSTIC_RECENT_WINDOW);
+                        lines[keep..].to_vec()
+                    })
+                    .unwrap_or_default();
+                CoreDiagnostic {
+                    core: i as u32,
+                    pc: core.pc,
+                    halted: core.halted(),
+                    hung: core.hung(),
+                    outstanding: core.outstanding(),
+                    retired: core.stats.retired,
+                    recent,
+                }
             })
             .collect()
     }
@@ -621,6 +874,14 @@ impl Cluster {
         if let Some(hooks) = &self.obs {
             hooks.dma_span("dma", start, done, bytes, to_spm);
         }
+        if let Some(flight) = self.flight_handle() {
+            flight.record(
+                start,
+                "dma",
+                None,
+                format!("dma {bytes} B {} over {elapsed} cycles", dma_dir(to_spm)),
+            );
+        }
         self.note_external_progress();
         Ok(elapsed)
     }
@@ -660,6 +921,17 @@ impl Cluster {
         self.dma_cycles += elapsed;
         if let Some(hooks) = &self.obs {
             hooks.dma_span("dma_tile", start, done, bytes, to_spm);
+        }
+        if let Some(flight) = self.flight_handle() {
+            flight.record(
+                start,
+                "dma",
+                None,
+                format!(
+                    "dma_tile {bytes} B {} over {elapsed} cycles",
+                    dma_dir(to_spm)
+                ),
+            );
         }
         self.note_external_progress();
         Ok(elapsed)
@@ -702,6 +974,17 @@ impl Cluster {
             // which may start after `now` if the port is busy.
             let start = done - self.offchip.transfer_cycles(bytes);
             hooks.dma_span("dma_async", start, done, bytes, to_spm);
+        }
+        if let Some(flight) = self.flight_handle() {
+            flight.record(
+                self.cycle,
+                "dma",
+                None,
+                format!(
+                    "dma_async {bytes} B {} completing at cycle {done}",
+                    dma_dir(to_spm)
+                ),
+            );
         }
         Ok(done)
     }
@@ -800,17 +1083,33 @@ impl Cluster {
             }
         }
         if let Some(stalled_for) = deadlock {
+            if let Some(flight) = self.flight_handle() {
+                flight.record(
+                    self.cycle,
+                    "watchdog",
+                    None,
+                    format!("expired: no forward progress for {stalled_for} cycles"),
+                );
+            }
             return Err(SimError::Deadlock {
                 stalled_for,
                 diagnostics: self.core_diagnostics(),
             });
         }
         self.cycle += 1;
+        if self
+            .sampler
+            .as_ref()
+            .is_some_and(|sampler| self.cycle >= sampler.next_at)
+        {
+            self.sample_epoch();
+        }
         Ok(())
     }
 
     fn serve_banks(&mut self) -> Result<(), SimError> {
         let now = self.cycle;
+        let flight = self.flight_handle();
         for bank in &mut self.banks {
             bank.stats.max_queue_depth = bank.stats.max_queue_depth.max(bank.queue.len() as u64);
             let mut best: Option<usize> = None;
@@ -836,6 +1135,22 @@ impl Cluster {
             }
             let access = bank.queue.swap_remove(index);
             bank.stats.served += 1;
+            if let Some(flight) = &flight {
+                let kind = match access.kind {
+                    MemAccessKind::Load { .. } => "load",
+                    MemAccessKind::Store { .. } => "store",
+                    MemAccessKind::Amo { .. } => "amo",
+                };
+                flight.record(
+                    now,
+                    "mem",
+                    Some(access.core),
+                    format!(
+                        "{kind} served at tile {} bank {} word {}",
+                        access.loc.tile.0, access.loc.bank.0, access.loc.word
+                    ),
+                );
+            }
             let mut old_word = self.storage.read_loc(access.loc)?;
             // SEC-DED check on every access that observes the stored word
             // (a full-word store overwrites it without reading).
@@ -849,7 +1164,7 @@ impl Cluster {
             let mut extra_resp = 0u32;
             if reads_word {
                 if let Some(faults) = self.faults.as_mut() {
-                    match faults.ecc_read(access.loc, old_word) {
+                    match faults.ecc_read(now, access.loc, old_word) {
                         EccOutcome::Clean => {}
                         EccOutcome::Corrected { value } => {
                             // Correct the returned word and scrub storage.
@@ -1043,7 +1358,7 @@ impl Cluster {
                                 match faults.link_state(loc.tile) {
                                     LinkState::Healthy => {}
                                     LinkState::Degraded(extra) => {
-                                        faults.record_retry(extra as u64);
+                                        faults.record_retry(now, loc.tile, extra as u64);
                                         core.insert_bubble(extra);
                                         core.stats.stall_fault_retry += extra as u64;
                                         if let Some(hooks) = &self.obs {
@@ -1059,7 +1374,7 @@ impl Cluster {
                                             // The request vanishes into the
                                             // open via; the scoreboard entry
                                             // is pinned forever.
-                                            faults.record_blackhole();
+                                            faults.record_blackhole(now, loc.tile, index as u32);
                                             core.mark_pending(req.kind.response_reg());
                                             continue;
                                         }
@@ -1174,6 +1489,113 @@ impl Cluster {
     /// The off-chip port (bandwidth, busy window, transfer totals).
     pub fn offchip(&self) -> &OffchipPort {
         &self.offchip
+    }
+
+    /// Builds the self-contained `crashdump.json` document for a run that
+    /// died with `err`: the error (message + stable kind), per-core
+    /// liveness snapshots (with recent instructions when tracing was on),
+    /// the final approach to the failure as a cycle-ordered event window
+    /// (flight ring merged with trace retires), and — when an [`Obs`]
+    /// handle is attached — the metrics snapshot, the time-series, and a
+    /// Chrome Trace document (spans plus counter tracks) loadable in
+    /// Perfetto. Spans still open at crash time are closed at the current
+    /// cycle so they appear in the trace.
+    ///
+    /// Every part degrades gracefully: without tracing/obs/faults the
+    /// corresponding sections are empty or `null`, and the dump always
+    /// re-parses via [`Json::parse`].
+    pub fn crash_dump(&self, err: &SimError) -> Json {
+        let mut events: Vec<(u64, usize, Json)> = Vec::new();
+        let mut dropped: u64 = 0;
+        if let Some(hooks) = &self.obs {
+            for event in hooks.obs.flight.events() {
+                events.push((event.cycle, events.len(), event.to_json()));
+            }
+            dropped += hooks.obs.flight.dropped();
+        }
+        if let Some(trace) = &self.trace {
+            for entry in trace.entries() {
+                events.push((
+                    entry.cycle,
+                    events.len(),
+                    Json::obj([
+                        ("cycle", Json::Int(entry.cycle as i64)),
+                        ("category", Json::str("retire")),
+                        ("core", Json::Int(entry.core.index() as i64)),
+                        (
+                            "message",
+                            Json::Str(format!("{:#010x}  {}", entry.pc, entry.instr)),
+                        ),
+                    ]),
+                ));
+            }
+            dropped += trace.dropped();
+        }
+        events.sort_by_key(|&(cycle, seq, _)| (cycle, seq));
+
+        // Flush the in-flight sampling epoch so a crash landing between
+        // window boundaries (or before the first one) still exports its
+        // final counter values.
+        if let Some(sampler) = &self.sampler {
+            if self.cycle > sampler.last_cycle {
+                self.push_samples(sampler, self.cycle);
+            }
+        }
+
+        let (metrics, timeseries, chrome) = match &self.obs {
+            Some(hooks) => {
+                hooks.obs.spans.close_all(self.cycle);
+                (
+                    hooks.obs.metrics.snapshot().to_json(),
+                    hooks.obs.series.to_json(),
+                    chrome_trace_with_counters(&hooks.obs.spans, Some(&hooks.obs.series)),
+                )
+            }
+            None => (Json::Null, Json::Null, Json::Null),
+        };
+
+        Json::obj([
+            ("schema", Json::str("mempool-crashdump/v1")),
+            (
+                "error",
+                Json::obj([
+                    ("kind", Json::str(err.kind())),
+                    ("message", Json::Str(err.to_string())),
+                ]),
+            ),
+            ("cycle", Json::Int(self.cycle as i64)),
+            (
+                "liveness",
+                Json::Arr(
+                    self.core_diagnostics()
+                        .iter()
+                        .map(CoreDiagnostic::to_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "events",
+                Json::Arr(events.into_iter().map(|(_, _, e)| e).collect()),
+            ),
+            ("dropped_events", Json::Int(dropped as i64)),
+            (
+                "fault_report",
+                self.fault_report()
+                    .map_or(Json::Null, |report| report.to_json()),
+            ),
+            ("metrics", metrics),
+            ("timeseries", timeseries),
+            ("trace", chrome),
+        ])
+    }
+}
+
+/// Direction tag used in DMA flight-event messages.
+fn dma_dir(to_spm: bool) -> &'static str {
+    if to_spm {
+        "to_spm"
+    } else {
+        "to_ext"
     }
 }
 
@@ -2293,5 +2715,194 @@ mod tests {
         let report = cluster.fault_report().unwrap();
         assert!(report.total_injected() >= 2, "floors guarantee faults");
         assert_eq!(report.remapped.len() as u64, report.stuck_banks);
+    }
+
+    #[test]
+    fn timeseries_samples_land_on_epoch_boundaries() {
+        use mempool_obs::Obs;
+        let obs = Obs::new();
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        cluster.attach_obs(&obs, "ts-run");
+        cluster.enable_timeseries(16);
+        cluster.load_program(
+            Program::assemble(
+                r#"
+                    li   t0, 0
+                    li   t1, 64
+                loop:
+                    lw   a0, 0(t0)
+                    addi t1, t1, -1
+                    bnez t1, loop
+                    wfi
+                "#,
+            )
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        cluster.run(1_000_000).unwrap();
+        let names = obs.series.names();
+        for expected in [
+            "ipc/tile0",
+            "l1_local_rate",
+            "l1_remote_rate",
+            "bank_conflict_rate",
+            "offchip_occupancy",
+            "offchip_backlog",
+            "outstanding",
+            "spm_touch_rate",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+        let ipc = obs.series.samples("ipc/tile0");
+        assert!(!ipc.is_empty(), "epochs elapsed, so samples must exist");
+        for s in &ipc {
+            assert_eq!(s.cycle % 16, 0, "samples land on window multiples");
+            assert!(s.value > 0.0, "the core retired work in every epoch");
+        }
+        let local = obs.series.samples("l1_local_rate");
+        assert!(
+            local.iter().any(|s| s.value > 0.0),
+            "the load loop must show up as local L1 traffic"
+        );
+        // The export shapes round-trip through the self-written parser.
+        let doc = Json::parse(&obs.series.to_json().to_pretty()).unwrap();
+        let back = mempool_obs::TimeSeries::from_json(&doc).unwrap();
+        assert_eq!(back.names(), names);
+    }
+
+    #[test]
+    fn crash_dump_on_deadlock_reparses_with_liveness_and_events() {
+        let cfg = four_tile_config();
+        let remote = {
+            let probe = Cluster::new(cfg.clone(), SimParams::default());
+            probe.storage().map().seq_addr(TileId(1), 0)
+        };
+        let obs = mempool_obs::Obs::new();
+        let mut cluster = Cluster::new(cfg, SimParams::default());
+        cluster.attach_obs(&obs, "crash-run");
+        cluster.enable_timeseries(32);
+        cluster.enable_flight(64);
+        cluster.enable_trace(32);
+        let mut plan = FaultPlan::new(5).with_dead_link_policy(DeadLinkPolicy::BlackHole);
+        plan.push(FaultEvent::LinkDead { tile: TileId(1) });
+        cluster.inject_faults(&plan).unwrap();
+        cluster.set_watchdog(50);
+        cluster.load_program(
+            Program::assemble(&format!(
+                r#"
+                    csrr t1, mhartid
+                    bnez t1, done
+                    lw   a2, 0(zero)
+                    li   t0, {remote}
+                    lw   a0, 0(t0)
+                    add  a1, a0, a0
+                done:
+                    wfi
+                "#
+            ))
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        let err = cluster.run(100_000).unwrap_err();
+        let dump = cluster.crash_dump(&err);
+
+        // The dump is self-contained: it survives a parse round-trip.
+        let doc = Json::parse(&dump.to_pretty()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("mempool-crashdump/v1")
+        );
+        let error = doc.get("error").unwrap();
+        assert_eq!(error.get("kind").and_then(Json::as_str), Some("deadlock"));
+        let liveness = doc.get("liveness").and_then(Json::as_arr).unwrap();
+        assert_eq!(liveness.len(), 4);
+        assert_eq!(
+            liveness[0].get("condition").and_then(Json::as_str),
+            Some("waiting-on-memory")
+        );
+        let recent = liveness[0].get("recent").and_then(Json::as_arr).unwrap();
+        assert!(
+            !recent.is_empty(),
+            "tracing was on, so the victim carries its last instructions"
+        );
+
+        // The merged event log holds the watchdog verdict, the swallowed
+        // memory traffic, and trace retires — sorted by cycle.
+        let events = doc.get("events").and_then(Json::as_arr).unwrap();
+        let category = |e: &Json| e.get("category").and_then(Json::as_str).map(String::from);
+        assert!(events
+            .iter()
+            .any(|e| category(e).as_deref() == Some("watchdog")));
+        assert!(events.iter().any(|e| category(e).as_deref() == Some("mem")));
+        assert!(events
+            .iter()
+            .any(|e| category(e).as_deref() == Some("retire")));
+        let cycles: Vec<i64> = events
+            .iter()
+            .map(|e| e.get("cycle").and_then(Json::as_int).unwrap())
+            .collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "sorted by cycle");
+
+        // The embedded trace doc is a valid Chrome Trace with counter rows.
+        let trace = doc.get("trace").unwrap();
+        let trace_events = trace.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(trace_events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("C")));
+        assert!(doc.get("metrics").is_some());
+        assert!(doc.get("timeseries").is_some());
+    }
+
+    #[test]
+    fn crash_dump_flushes_the_partial_sampling_epoch() {
+        let obs = mempool_obs::Obs::new();
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        cluster.attach_obs(&obs, "flush-run");
+        // Window far beyond the crash point: only the dump-time flush can
+        // produce samples.
+        cluster.enable_timeseries(1_000_000);
+        let mut plan = FaultPlan::new(6);
+        plan.push(FaultEvent::CoreHang {
+            cycle: 0,
+            core: GlobalCoreId::new(0),
+        });
+        cluster.inject_faults(&plan).unwrap();
+        cluster.set_watchdog(20);
+        cluster.load_program(Program::assemble("li a0, 1\nwfi").unwrap());
+        cluster.preload_icaches();
+        let err = cluster.run(100_000).unwrap_err();
+        assert!(obs.series.is_empty(), "no epoch boundary was reached");
+        let dump = cluster.crash_dump(&err);
+        let doc = Json::parse(&dump.to_pretty()).unwrap();
+        let series = doc
+            .get("timeseries")
+            .and_then(|t| t.get("series"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert!(!series.is_empty(), "the partial epoch must be flushed");
+        let trace_events = doc
+            .get("trace")
+            .and_then(|t| t.get("traceEvents"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert!(trace_events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("C")));
+    }
+
+    #[test]
+    fn crash_dump_without_obs_still_parses() {
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        // Stepping without a program is the simplest typed error; with no
+        // obs attached the dump degrades to Null sections but stays valid.
+        let err = cluster.run(100).unwrap_err();
+        let dump = cluster.crash_dump(&err);
+        let doc = Json::parse(&dump.to_pretty()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("mempool-crashdump/v1")
+        );
+        assert!(matches!(doc.get("metrics"), Some(Json::Null)));
+        assert!(matches!(doc.get("trace"), Some(Json::Null)));
     }
 }

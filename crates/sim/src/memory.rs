@@ -1,5 +1,6 @@
 //! Backing storage for the SPM banks and the external (off-chip) memory.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -58,6 +59,9 @@ pub struct Storage {
     num_tiles: u32,
     /// Sparse external memory, keyed by word offset.
     external: HashMap<u64, u32>,
+    /// SPM words read or written so far (core accesses and DMA word
+    /// traffic alike) — the time-series sampler reads this per epoch.
+    touches: Cell<u64>,
 }
 
 /// Which physical array a resolved location lands in.
@@ -78,7 +82,15 @@ impl Storage {
             spares_per_tile: 0,
             num_tiles: cfg.num_tiles(),
             external: HashMap::new(),
+            touches: Cell::new(0),
         }
+    }
+
+    /// Total SPM words read or written so far, in program order. Counts
+    /// every resolved [`Self::read_loc`]/[`Self::write_loc`] — core
+    /// accesses, DMA word loops, and debug reads alike.
+    pub fn spm_word_touches(&self) -> u64 {
+        self.touches.get()
     }
 
     /// The address map used to decode accesses.
@@ -167,10 +179,12 @@ impl Storage {
     ///
     /// Returns an error if the location is outside the bank geometry.
     pub fn read_loc(&self, loc: BankLocation) -> Result<u32, MemoryError> {
-        Ok(match self.slot(loc)? {
+        let value = match self.slot(loc)? {
             Slot::Main(index) => self.spm[index],
             Slot::Spare(index) => self.spare[index],
-        })
+        };
+        self.touches.set(self.touches.get() + 1);
+        Ok(value)
     }
 
     /// Writes the word at a (logical) bank location, following any
@@ -184,6 +198,7 @@ impl Storage {
             Slot::Main(index) => self.spm[index] = value,
             Slot::Spare(index) => self.spare[index] = value,
         }
+        self.touches.set(self.touches.get() + 1);
         Ok(())
     }
 
@@ -287,6 +302,21 @@ mod tests {
 
     fn storage() -> Storage {
         Storage::new(&ClusterConfig::default())
+    }
+
+    #[test]
+    fn touch_counter_follows_resolved_word_accesses() {
+        let mut s = storage();
+        assert_eq!(s.spm_word_touches(), 0);
+        s.write(0, MemWidth::Word, 7).unwrap();
+        assert_eq!(s.read(0, MemWidth::Word).unwrap(), 7);
+        // A sub-word write is a read-modify-write: two touches.
+        s.write(1, MemWidth::Byte, 0xff).unwrap();
+        assert!(s.spm_word_touches() >= 4);
+        let before = s.spm_word_touches();
+        // Failed accesses do not count.
+        assert!(s.read(2, MemWidth::Word).is_err());
+        assert_eq!(s.spm_word_touches(), before);
     }
 
     #[test]

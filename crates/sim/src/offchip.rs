@@ -62,6 +62,12 @@ impl OffchipPort {
         self.busy_until
     }
 
+    /// Remaining busy window as seen from `now`: how many cycles of already
+    /// scheduled transfers are still draining (0 when idle).
+    pub fn backlog(&self, now: u64) -> u64 {
+        self.busy_until.saturating_sub(now)
+    }
+
     /// Total bytes transferred.
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes
@@ -102,6 +108,16 @@ mod tests {
         let mut port = OffchipPort::new(4, 0);
         let done = port.schedule(100, 8);
         assert_eq!(done, 102);
+    }
+
+    #[test]
+    fn backlog_tracks_the_remaining_busy_window() {
+        let mut port = OffchipPort::new(16, 10);
+        assert_eq!(port.backlog(0), 0);
+        let done = port.schedule(0, 160); // busy until 20
+        assert_eq!(port.backlog(5), done - 5);
+        assert_eq!(port.backlog(done), 0);
+        assert_eq!(port.backlog(done + 10), 0);
     }
 
     #[test]
