@@ -65,7 +65,7 @@ const EXIT_ERROR: u8 = 2;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--measure] [--artifacts DIR] [--faults SEED[:RATE]] [--watchdog N]\n\
-         \x20            [--timeseries WINDOW] [--flight N]\n\
+         \x20            [--timeseries WINDOW] [--flight N] [--threads N]\n\
          \x20            [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]...\n\
          \x20      repro diff BASELINE.json CANDIDATE.json\n\
          \x20      repro check --baseline PATH [--bless]\n\
@@ -85,6 +85,10 @@ fn usage() -> ExitCode {
          --flight N           keep an N-event flight-recorder ring on the\n\
                               degraded run; a simulator fault dumps it as\n\
                               crashdump.json\n\
+         --threads N          drive every simulation on N host threads via\n\
+                              the phased-tick parallel engine (default 1 =\n\
+                              sequential); results are bit-identical at any\n\
+                              thread count\n\
          \n\
          diff                 compare two benchmark artifacts metric-by-metric;\n\
                               exit 1 on regression, 2 on usage/parse errors\n\
@@ -108,6 +112,7 @@ struct Options {
     watchdog: Option<u64>,
     timeseries: Option<u64>,
     flight: Option<usize>,
+    threads: usize,
 }
 
 /// Parses `SEED[:RATE]`. Both parts are validated strictly: a non-numeric
@@ -125,9 +130,12 @@ fn parse_faults(value: &str) -> Result<(u64, f64), String> {
             let rate: f64 = text
                 .parse()
                 .map_err(|_| format!("--faults: rate must be a number, got {text:?}"))?;
-            if !rate.is_finite() || rate < 0.0 {
+            // A zero rate would "inject faults" that never fire — almost
+            // certainly a typo for a real rate, so it is rejected rather
+            // than silently measuring a clean run as degraded.
+            if !rate.is_finite() || rate <= 0.0 {
                 return Err(format!(
-                    "--faults: rate must be finite and non-negative, got {text}"
+                    "--faults: rate must be finite and positive, got {text}"
                 ));
             }
             rate
@@ -148,6 +156,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut watchdog = None;
     let mut timeseries = None;
     let mut flight = None;
+    let mut threads = 1;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -197,6 +206,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 _ => return Err("--flight requires an event-count argument".to_string()),
             },
+            "--threads" => match it.next() {
+                Some(value) if !value.starts_with("--") => {
+                    let count = value.parse::<usize>().map_err(|_| {
+                        format!("--threads: count must be an unsigned integer, got {value:?}")
+                    })?;
+                    if count == 0 {
+                        return Err("--threads: count must be nonzero (1 = sequential)".to_string());
+                    }
+                    threads = count;
+                }
+                _ => return Err("--threads requires a thread-count argument".to_string()),
+            },
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}"));
             }
@@ -219,6 +240,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         watchdog,
         timeseries,
         flight,
+        threads,
     })
 }
 
@@ -337,6 +359,14 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    // Every cluster below is built through `SimParams::default()`, so one
+    // process-wide knob switches all of them to the parallel engine. The
+    // engines are bit-identical, so no artifact depends on this — which
+    // is exactly what CI's parallel-vs-sequential diff checks.
+    mempool_sim::set_default_threads(opts.threads);
+    if opts.threads > 1 {
+        eprintln!("driving simulations with {} host threads", opts.threads);
+    }
     let want = |name: &str| {
         opts.targets.iter().any(|t| t == "all") || opts.targets.iter().any(|t| t == name)
     };
@@ -650,10 +680,26 @@ mod tests {
     }
 
     #[test]
-    fn negative_and_non_finite_rates_are_rejected() {
+    fn zero_negative_and_non_finite_rates_are_rejected() {
+        let err = parse_args(&argv(&["--faults", "42:0"])).unwrap_err();
+        assert!(err.contains("rate must be finite and positive"), "{err}");
+        assert!(parse_args(&argv(&["--faults", "42:0.0"])).is_err());
         assert!(parse_args(&argv(&["--faults", "42:-1e-6"])).is_err());
         assert!(parse_args(&argv(&["--faults", "42:inf"])).is_err());
         assert!(parse_args(&argv(&["--faults", "42:nan"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero_and_junk() {
+        assert_eq!(parse_args(&argv(&["fig6"])).unwrap().threads, 1);
+        let opts = parse_args(&argv(&["fig6", "--threads", "4"])).unwrap();
+        assert_eq!(opts.threads, 4);
+        let err = parse_args(&argv(&["--threads", "0"])).unwrap_err();
+        assert!(err.contains("count must be nonzero"), "{err}");
+        let err = parse_args(&argv(&["--threads", "many"])).unwrap_err();
+        assert!(err.contains("count must be an unsigned integer"), "{err}");
+        assert!(parse_args(&argv(&["--threads"])).is_err());
+        assert!(parse_args(&argv(&["--threads", "--measure"])).is_err());
     }
 
     #[test]

@@ -21,18 +21,22 @@ pub const BASELINE_FAULT_RATE: f64 = 1e-6;
 /// Watchdog threshold armed for the baseline degraded run.
 pub const BASELINE_WATCHDOG: u64 = 2_000_000;
 
-/// Produces the deterministic benchmark summary the regression gate
-/// compares against (`repro check`). Everything in it is pinned: the
+/// Produces the benchmark summary the regression gate compares against
+/// (`repro check`). Everything except the `perf` section is pinned: the
 /// recorded workload constants, the analytic matmul cycle counts, and a
-/// degraded run under the fixed `(seed, rate)` fault plan. No wall-clock
-/// or host-dependent value appears, so two runs of the same code produce
-/// byte-identical documents.
+/// degraded run under the fixed `(seed, rate)` fault plan, so two runs of
+/// the same code produce identical documents there. The `perf` section
+/// carries the host-throughput probe (wall-clock simulated cycles per
+/// second of the sequential and parallel engines) — a real measurement
+/// that varies run to run; the comparator's lenient `cycles_per_second` /
+/// `parallel_speedup` rules keep it gated without tripping on scheduler
+/// noise.
 ///
 /// # Panics
 ///
-/// Panics if the pinned-seed degraded run fails — the baseline scenario
-/// is expected to always complete (a failure here is itself a
-/// regression).
+/// Panics if the pinned-seed degraded run or the throughput probe fails —
+/// both scenarios are expected to always complete (a failure here is
+/// itself a regression).
 pub fn bench_summary() -> mempool_obs::Json {
     use mempool::experiments::Resilience;
     use mempool_arch::SpmCapacity;
@@ -93,6 +97,74 @@ pub fn bench_summary() -> mempool_obs::Json {
                 ),
             ]),
         ),
+        ("perf", throughput_probe()),
+    ])
+}
+
+/// How many back-to-back kernel runs the throughput probe times per
+/// engine, so the elapsed window is long enough to be meaningful.
+const PROBE_REPS: u32 = 4;
+
+/// Host threads the parallel leg of the probe runs with (matching the
+/// CI tier-1 `--threads 4` job).
+const PROBE_THREADS: usize = 4;
+
+/// Times the compute-phase workload on the sequential engine and on the
+/// phased-tick parallel engine, reporting simulated cycles per wall-clock
+/// second for each plus their ratio. Both legs simulate the identical
+/// workload (the engines are bit-identical by construction), so the ratio
+/// is a pure host-throughput comparison.
+///
+/// # Panics
+///
+/// Panics if the probe workload fails to build or complete.
+fn throughput_probe() -> mempool_obs::Json {
+    use std::time::Instant;
+
+    use mempool_arch::ClusterConfig;
+    use mempool_kernels::matmul::ComputePhase;
+    use mempool_kernels::Kernel;
+    use mempool_obs::Json;
+    use mempool_sim::{Cluster, SimParams};
+
+    fn cycles_per_second(threads: usize) -> f64 {
+        let cfg = ClusterConfig::builder()
+            .groups(1)
+            .tiles_per_group(4)
+            .cores_per_tile(4)
+            .banks_per_tile(16)
+            .bank_words(512)
+            .build()
+            .expect("the probe cluster shape is valid");
+        let phase = ComputePhase::new(32);
+        let params = SimParams {
+            threads,
+            ..SimParams::default()
+        };
+        let start = Instant::now();
+        let mut simulated = 0u64;
+        for _ in 0..PROBE_REPS {
+            let mut cluster = Cluster::new(cfg.clone(), params);
+            simulated += phase
+                .run(&mut cluster, 100_000_000)
+                .expect("the probe workload must complete");
+        }
+        simulated as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    }
+
+    let sequential = cycles_per_second(1);
+    let parallel = cycles_per_second(PROBE_THREADS);
+    Json::obj([
+        (
+            "probe",
+            Json::str("compute-phase p=32 on 4 tiles x 4 cores"),
+        ),
+        ("cycles_per_second_threads1", Json::Float(sequential)),
+        ("cycles_per_second_threads4", Json::Float(parallel)),
+        (
+            "parallel_speedup",
+            Json::Float(parallel / sequential.max(1e-9)),
+        ),
     ])
 }
 
@@ -118,11 +190,27 @@ pub fn full_report() -> String {
 
 #[cfg(test)]
 mod tests {
+    /// Removes the `perf` section — the one part of the summary that is a
+    /// live wall-clock measurement rather than a pinned simulation result.
+    fn strip_perf(doc: &mempool_obs::Json) -> mempool_obs::Json {
+        use mempool_obs::Json;
+        match doc {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .iter()
+                    .filter(|(key, _)| key != "perf")
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
     #[test]
     fn bench_summary_is_deterministic_and_self_consistent() {
         use mempool_obs::Json;
-        let a = super::bench_summary();
-        let b = super::bench_summary();
+        let a = strip_perf(&super::bench_summary());
+        let b = strip_perf(&super::bench_summary());
         assert_eq!(a.to_pretty(), b.to_pretty(), "the gate needs determinism");
         let doc = Json::parse(&a.to_pretty()).unwrap();
         assert_eq!(
@@ -132,6 +220,29 @@ mod tests {
         let cmp = super::regress::compare(&a, &b);
         assert!(!cmp.is_regression());
         assert_eq!(cmp.regressions.len() + cmp.missing.len(), 0);
+    }
+
+    #[test]
+    fn bench_summary_records_finite_throughput() {
+        let doc = super::bench_summary();
+        let perf = doc.get("perf").expect("summary carries a perf section");
+        for key in [
+            "cycles_per_second_threads1",
+            "cycles_per_second_threads4",
+            "parallel_speedup",
+        ] {
+            let value = perf
+                .get(key)
+                .and_then(|v| match v {
+                    mempool_obs::Json::Float(f) => Some(*f),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("perf.{key} must be a float"));
+            assert!(
+                value.is_finite() && value > 0.0,
+                "perf.{key} = {value} must be a positive finite number"
+            );
+        }
     }
 
     #[test]

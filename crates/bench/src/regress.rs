@@ -7,10 +7,13 @@
 //! fewer is an improvement, and vice versa for speedups. Wall-clock and
 //! file-list entries are measurement noise and are ignored outright.
 //!
-//! The comparison never panics on shape drift: metrics present only in
-//! the baseline are reported as *missing* (and fail the gate — bless a
-//! new baseline after intentional schema changes), metrics present only
-//! in the candidate are reported as *added* (informational).
+//! The comparison never panics on shape drift, but shape drift fails the
+//! gate in both directions: metrics present only in the baseline are
+//! reported as *missing*, metrics present only in the candidate as
+//! *added*, and either one is a failure — bless a new baseline after
+//! intentional schema changes. Non-finite leaves (NaN or infinity) on
+//! either side likewise fail with the offending path named: a NaN never
+//! compares as "within tolerance" by accident.
 
 use std::fmt;
 
@@ -68,6 +71,13 @@ const RULES: &[Rule] = &[
     ignore("wall_clock"),
     ignore("artifacts"),
     ignore("timestamp"),
+    // Host-throughput metrics (simulated cycles per wall-clock second and
+    // the parallel-engine speedup) are real measurements, so they are
+    // gated — but against scheduler noise on shared CI runners, only a
+    // drastic collapse should trip the gate. These must precede the strict
+    // "speedup"/"cycle" substring rules below.
+    rule("cycles_per_second", Direction::LowerIsWorse, 0.60),
+    rule("parallel_speedup", Direction::LowerIsWorse, 0.75),
     rule("speedup", Direction::LowerIsWorse, 0.02),
     rule("throughput", Direction::LowerIsWorse, 0.02),
     rule("utilization", Direction::LowerIsWorse, 0.02),
@@ -123,8 +133,13 @@ pub struct Comparison {
     pub improvements: Vec<Delta>,
     /// Metrics in the baseline but not the candidate (fails the gate).
     pub missing: Vec<String>,
-    /// Metrics in the candidate but not the baseline (informational).
+    /// Metrics in the candidate but not the baseline (also fails the
+    /// gate: an unreviewed schema addition silently widens what the
+    /// baseline covers — bless after intentional changes).
     pub added: Vec<String>,
+    /// Leaves that are NaN or infinite on either side, labelled
+    /// `baseline <path>` / `candidate <path>` (fails the gate).
+    pub non_finite: Vec<String>,
     /// Metrics compared and found within tolerance.
     pub within: usize,
     /// Metrics skipped by ignore rules.
@@ -132,9 +147,13 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Whether the gate must fail: any regression or any vanished metric.
+    /// Whether the gate must fail: any regression, any one-sided metric
+    /// (missing or added), or any non-finite leaf.
     pub fn is_regression(&self) -> bool {
-        !self.regressions.is_empty() || !self.missing.is_empty()
+        !self.regressions.is_empty()
+            || !self.missing.is_empty()
+            || !self.added.is_empty()
+            || !self.non_finite.is_empty()
     }
 
     /// Human-readable report, one line per notable metric.
@@ -146,19 +165,23 @@ impl Comparison {
         for path in &self.missing {
             out.push_str(&format!("MISSING     {path} (present only in baseline)\n"));
         }
+        for path in &self.added {
+            out.push_str(&format!("ADDED       {path} (not in baseline)\n"));
+        }
+        for path in &self.non_finite {
+            out.push_str(&format!("NON-FINITE  {path} (NaN or infinite)\n"));
+        }
         for d in &self.improvements {
             out.push_str(&format!("improvement {d}\n"));
         }
-        for path in &self.added {
-            out.push_str(&format!("added       {path} (not in baseline)\n"));
-        }
         out.push_str(&format!(
-            "{} regression(s), {} missing, {} improvement(s), {} added, \
-             {} within tolerance, {} ignored\n",
+            "{} regression(s), {} missing, {} added, {} non-finite, \
+             {} improvement(s), {} within tolerance, {} ignored\n",
             self.regressions.len(),
             self.missing.len(),
-            self.improvements.len(),
             self.added.len(),
+            self.non_finite.len(),
+            self.improvements.len(),
             self.within,
             self.ignored
         ));
@@ -211,10 +234,18 @@ pub fn compare(baseline: &Json, candidate: &Json) -> Comparison {
             result.ignored += 1;
             continue;
         }
+        if !base_value.is_finite() {
+            result.non_finite.push(format!("baseline {path}"));
+            continue;
+        }
         let Some((_, cand_value)) = cand.iter().find(|(p, _)| p == path) else {
             result.missing.push(path.clone());
             continue;
         };
+        if !cand_value.is_finite() {
+            result.non_finite.push(format!("candidate {path}"));
+            continue;
+        }
         let diff = cand_value - base_value;
         if diff.abs() <= ABS_EPSILON {
             result.within += 1;
@@ -327,20 +358,74 @@ mod tests {
     }
 
     #[test]
-    fn vanished_metrics_fail_and_new_metrics_inform() {
+    fn one_sided_metrics_fail_in_both_directions() {
         let base = doc(100, 2.0, 1.0);
-        let mut cand = doc(100, 2.0, 1.0);
-        if let Json::Obj(pairs) = &mut cand {
+
+        // Vanished metrics fail, naming the paths.
+        let mut shrunk = doc(100, 2.0, 1.0);
+        if let Json::Obj(pairs) = &mut shrunk {
             pairs.retain(|(k, _)| k != "points");
-            pairs.push(("extra".to_string(), Json::Int(7)));
         }
-        let cmp = compare(&base, &cand);
+        let cmp = compare(&base, &shrunk);
         assert!(cmp.is_regression());
         assert_eq!(cmp.missing, vec!["points[0]", "points[1]"]);
+        assert!(cmp.to_text().contains("MISSING     points[0]"));
+
+        // Unexpected additions fail too: the baseline no longer covers
+        // the candidate's schema, so the gate demands a bless.
+        let mut grown = doc(100, 2.0, 1.0);
+        if let Json::Obj(pairs) = &mut grown {
+            pairs.push(("extra".to_string(), Json::Int(7)));
+        }
+        let cmp = compare(&base, &grown);
+        assert!(cmp.is_regression());
         assert_eq!(cmp.added, vec!["extra"]);
-        let text = cmp.to_text();
-        assert!(text.contains("MISSING"));
-        assert!(text.contains("added"));
+        assert!(cmp.to_text().contains("ADDED       extra"));
+    }
+
+    #[test]
+    fn non_finite_leaves_fail_and_name_the_side() {
+        let base = doc(100, 2.0, 1.0);
+        let cmp = compare(&base, &doc(100, f64::NAN, 1.0));
+        assert!(cmp.is_regression(), "a NaN must never pass as 'within'");
+        assert_eq!(
+            cmp.non_finite,
+            vec!["candidate resilience.clean_fig6_speedup"]
+        );
+        assert!(cmp.to_text().contains("NON-FINITE"));
+
+        let cmp = compare(&doc(100, f64::INFINITY, 1.0), &base);
+        assert!(cmp.is_regression());
+        assert_eq!(
+            cmp.non_finite,
+            vec!["baseline resilience.clean_fig6_speedup"]
+        );
+
+        // Ignored paths stay ignored even when non-finite.
+        let cmp = compare(&base, &doc(100, 2.0, f64::NAN));
+        assert!(!cmp.is_regression());
+    }
+
+    #[test]
+    fn host_throughput_rules_are_lenient_and_direction_correct() {
+        let perf = |cps: f64, speedup: f64| {
+            Json::obj([(
+                "perf",
+                Json::obj([
+                    ("cycles_per_second_threads4", Json::Float(cps)),
+                    ("parallel_speedup", Json::Float(speedup)),
+                ]),
+            )])
+        };
+        let base = perf(1e6, 1.0);
+        // Moderate slowdowns are scheduler noise, not regressions; a
+        // collapse below the lenient tolerance fails.
+        assert!(!compare(&base, &perf(0.5e6, 0.9)).is_regression());
+        assert!(compare(&base, &perf(0.2e6, 0.9)).is_regression());
+        assert!(compare(&base, &perf(0.9e6, 0.2)).is_regression());
+        // Getting faster is never a regression — the lenient LowerIsWorse
+        // rules must shadow the strict HigherIsWorse "cycle" rule.
+        assert!(!compare(&base, &perf(5e6, 3.0)).is_regression());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! One [`Cluster`] owns every core, SPM bank, instruction cache, and the
 //! off-chip port, and advances them in lock-step cycles. Each cycle has
-//! three phases:
+//! three phases (see [`crate::engine`] for the full tick anatomy):
 //!
 //! 1. **bank service** — every bank serves at most one request whose
 //!    network arrival lies strictly in the past (round-robin via FIFO order
@@ -11,6 +11,12 @@
 //!    core's register file and release scoreboard entries;
 //! 3. **issue** — every non-halted core consumes pipeline bubbles, checks
 //!    its I$, and issues at most one instruction through the scoreboard.
+//!
+//! Delivery and issue are tile-local, which is what the phased-tick
+//! engine exploits: with [`SimParams::threads`]` > 1`, [`Cluster::run`]
+//! advances tiles on a host-thread pool between two deterministic
+//! sequential phases, producing bit-identical results to the sequential
+//! engine at any thread count.
 //!
 //! The phase split realizes the paper's zero-load latencies exactly: a
 //! tile-local load issued in cycle `c` is usable in cycle `c+1`, a
@@ -22,21 +28,19 @@ use mempool_arch::{
     AccessClass, BankLocation, ClusterConfig, GlobalCoreId, LatencyModel, MemoryRegion, RemapError,
     TileId, Topology,
 };
-use mempool_fault::{
-    CoreDiagnostic, DeadLinkPolicy, EccOutcome, FaultController, FaultPlan, FaultReport, LinkState,
-    TimedFault, Watchdog,
-};
-use mempool_isa::exec::{self, Issue, MemAccessKind, MemWidth};
+use mempool_fault::{CoreDiagnostic, FaultController, FaultPlan, FaultReport, Watchdog};
+use mempool_isa::exec::{MemAccessKind, MemWidth};
 use mempool_isa::{Program, Reg};
 use mempool_obs::{chrome_trace_with_counters, Counter, FlightRecorder, Json, Obs, TrackId};
 
-use crate::core::{Core, Stall};
+use crate::core::Core;
+use crate::engine::{self, LinkSnapshot, SampleInputs, TileScratch};
 use crate::icache::ICache;
 use crate::memory::{MemoryError, Storage};
 use crate::offchip::OffchipPort;
 use crate::params::SimParams;
 use crate::stats::{BankStats, ClusterStats};
-use crate::trace::{Trace, TraceEntry};
+use crate::trace::Trace;
 
 /// Error raised by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,46 +169,48 @@ impl From<RemapError> for SimError {
 
 /// A request waiting at (or traveling to) a bank.
 #[derive(Debug, Clone, Copy)]
-struct PendingAccess {
+pub(crate) struct PendingAccess {
     /// Cycle the request reaches the bank; servable strictly after.
-    arrival: u64,
-    core: u32,
-    loc: BankLocation,
-    kind: MemAccessKind,
-    resp_latency: u32,
+    pub(crate) arrival: u64,
+    pub(crate) core: u32,
+    pub(crate) loc: BankLocation,
+    pub(crate) kind: MemAccessKind,
+    pub(crate) resp_latency: u32,
     /// Byte address, kept for sub-word lane selection.
-    addr: u32,
+    pub(crate) addr: u32,
 }
 
 #[derive(Debug, Clone, Default)]
-struct Bank {
-    queue: Vec<PendingAccess>,
-    stats: BankStats,
+pub(crate) struct Bank {
+    pub(crate) queue: Vec<PendingAccess>,
+    pub(crate) stats: BankStats,
 }
 
 /// A completed transaction traveling back to its core.
 #[derive(Debug, Clone, Copy)]
-struct Response {
-    due: u64,
-    reg: Option<Reg>,
-    value: u32,
+pub(crate) struct Response {
+    pub(crate) due: u64,
+    pub(crate) reg: Option<Reg>,
+    pub(crate) value: u32,
 }
 
 /// Observability attachment: shared handle plus the tracks and counters
-/// this cluster records into (see [`Cluster::attach_obs`]).
+/// this cluster records into (see [`Cluster::attach_obs`]). `Rc`-based
+/// and therefore confined to the main thread — the engine only touches it
+/// from the sequential phases.
 #[derive(Debug)]
-struct ClusterObs {
-    obs: Obs,
+pub(crate) struct ClusterObs {
+    pub(crate) obs: Obs,
     /// Timeline of off-chip port activity (DMA transfers and waits).
     dma_track: TrackId,
     /// One timeline per core, for `wfi`/resume (barrier) spans.
-    core_tracks: Vec<TrackId>,
+    pub(crate) core_tracks: Vec<TrackId>,
     dma_bytes: Counter,
     dma_transfers: Counter,
-    bank_conflicts: Counter,
-    icache_misses: Counter,
-    fault_retries: Counter,
-    ecc_corrected: Counter,
+    pub(crate) bank_conflicts: Counter,
+    pub(crate) icache_misses: Counter,
+    pub(crate) fault_retries: Counter,
+    pub(crate) ecc_corrected: Counter,
 }
 
 impl ClusterObs {
@@ -231,18 +237,36 @@ impl ClusterObs {
 /// (see [`Cluster::enable_timeseries`]). Holds the counter totals at the
 /// previous sample so each epoch records deltas.
 #[derive(Debug)]
-struct Sampler {
-    window: u64,
-    /// Cycle the previous sample was taken at (start of the open epoch).
-    last_cycle: u64,
+pub(crate) struct Sampler {
+    pub(crate) window: u64,
+    /// True start cycle of the open epoch (the previous sample, or the
+    /// cycle sampling was enabled at). Carried exactly — never clamped —
+    /// so rate denominators are true elapsed cycles and zero-length
+    /// windows can be dropped instead of spiking.
+    pub(crate) epoch_start: u64,
     /// First cycle at (or after) which to take the next sample.
-    next_at: u64,
-    retired_per_tile: Vec<u64>,
-    local_accesses: u64,
-    remote_accesses: u64,
-    conflicts: u64,
-    offchip_bytes: u64,
-    spm_touches: u64,
+    pub(crate) next_at: u64,
+    pub(crate) retired_per_tile: Vec<u64>,
+    pub(crate) local_accesses: u64,
+    pub(crate) remote_accesses: u64,
+    pub(crate) conflicts: u64,
+    pub(crate) offchip_bytes: u64,
+    pub(crate) spm_touches: u64,
+}
+
+impl Sampler {
+    /// Re-baselines the counters at `now`: the next epoch's deltas are
+    /// read against `inputs` and close no earlier than `now + window`.
+    pub(crate) fn rebaseline(&mut self, inputs: SampleInputs, now: u64) {
+        self.retired_per_tile = inputs.retired_per_tile;
+        self.local_accesses = inputs.local_accesses;
+        self.remote_accesses = inputs.remote_accesses;
+        self.conflicts = inputs.conflicts;
+        self.offchip_bytes = inputs.offchip_bytes;
+        self.spm_touches = inputs.spm_touches;
+        self.epoch_start = now;
+        self.next_at = now + self.window;
+    }
 }
 
 /// Cycle-accurate model of a MemPool cluster.
@@ -250,32 +274,35 @@ struct Sampler {
 /// See the [crate-level example](crate) for typical use.
 #[derive(Debug)]
 pub struct Cluster {
-    config: ClusterConfig,
-    topo: Topology,
-    params: SimParams,
-    storage: Storage,
-    program: Program,
-    cores: Vec<Core>,
-    icaches: Vec<ICache>,
-    banks: Vec<Bank>,
-    responses: Vec<Vec<Response>>,
-    offchip: OffchipPort,
-    cycle: u64,
-    dma_bytes: u64,
-    dma_cycles: u64,
-    trace: Option<Trace>,
-    obs: Option<ClusterObs>,
-    /// Remote-port grants used per tile in the current cycle.
-    remote_issued: Vec<u32>,
+    pub(crate) config: ClusterConfig,
+    pub(crate) topo: Topology,
+    pub(crate) params: SimParams,
+    pub(crate) storage: Storage,
+    pub(crate) program: Program,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) icaches: Vec<ICache>,
+    pub(crate) banks: Vec<Bank>,
+    pub(crate) responses: Vec<Vec<Response>>,
+    pub(crate) offchip: OffchipPort,
+    pub(crate) cycle: u64,
+    pub(crate) dma_bytes: u64,
+    pub(crate) dma_cycles: u64,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) obs: Option<ClusterObs>,
     /// Injected-fault state, present only in fault-injection runs.
-    faults: Option<FaultController>,
+    pub(crate) faults: Option<FaultController>,
     /// Forward-progress watchdog, armed by [`Cluster::set_watchdog`].
-    watchdog: Option<Watchdog>,
+    pub(crate) watchdog: Option<Watchdog>,
     /// Per-epoch sampling state, armed by [`Cluster::enable_timeseries`].
-    sampler: Option<Sampler>,
+    pub(crate) sampler: Option<Sampler>,
     /// Whether cluster events mirror into the obs flight ring
     /// (armed by [`Cluster::enable_flight`]).
-    flight_enabled: bool,
+    pub(crate) flight_enabled: bool,
+    /// Per-tile deferred-side-effect buffers for the phased-tick engine
+    /// (drained empty at the end of every tick).
+    pub(crate) scratches: Vec<TileScratch>,
+    /// Per-tick F2F link-health snapshot for the engine's local phase.
+    pub(crate) links: LinkSnapshot,
 }
 
 impl Cluster {
@@ -310,12 +337,31 @@ impl Cluster {
             dma_cycles: 0,
             trace: None,
             obs: None,
-            remote_issued: vec![0; num_tiles],
             faults: None,
             watchdog: None,
             sampler: None,
             flight_enabled: false,
+            scratches: (0..num_tiles).map(|_| TileScratch::default()).collect(),
+            links: LinkSnapshot::default(),
         }
+    }
+
+    /// Sets the number of host threads the phased-tick engine uses for
+    /// subsequent [`Cluster::run`] calls. `1` (or `0`, clamped) selects
+    /// the sequential engine; any value is also capped at the tile count
+    /// since a tile is the unit of parallelism. Never changes simulated
+    /// behavior — results are bit-identical at every thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.params.threads = threads.max(1);
+    }
+
+    /// The effective host-thread count for [`Cluster::run`] (after
+    /// clamping to the tile count).
+    pub fn threads(&self) -> usize {
+        self.params
+            .threads
+            .max(1)
+            .min(self.config.num_tiles() as usize)
     }
 
     /// Attaches an observability handle. The cluster records DMA transfers
@@ -395,24 +441,20 @@ impl Cluster {
             .expect("attach_obs before enable_timeseries");
         hooks.obs.series.set_window(window);
         let window = hooks.obs.series.window();
-        self.sampler = Some(Sampler {
+        let inputs = self.sample_inputs(self.cycle);
+        let mut sampler = Sampler {
             window,
-            last_cycle: self.cycle,
+            epoch_start: self.cycle,
             next_at: self.cycle + window,
-            retired_per_tile: self.retired_per_tile(),
+            retired_per_tile: Vec::new(),
             local_accesses: 0,
             remote_accesses: 0,
             conflicts: 0,
             offchip_bytes: 0,
             spm_touches: 0,
-        });
-        let (local, remote) = self.access_totals();
-        let sampler = self.sampler.as_mut().expect("just set");
-        sampler.local_accesses = local;
-        sampler.remote_accesses = remote;
-        sampler.conflicts = self.banks.iter().map(|b| b.stats.conflicts).sum();
-        sampler.offchip_bytes = self.offchip.total_bytes();
-        sampler.spm_touches = self.storage.spm_word_touches();
+        };
+        sampler.rebaseline(inputs, self.cycle);
+        self.sampler = Some(sampler);
     }
 
     /// Enables flight recording: cluster events (memory transactions, DMA
@@ -443,107 +485,30 @@ impl Cluster {
         self.obs.as_ref().map(|hooks| hooks.obs.flight.clone())
     }
 
-    /// Instructions retired so far, summed per tile.
-    fn retired_per_tile(&self) -> Vec<u64> {
-        let cores_per_tile = self.config.cores_per_tile() as usize;
-        let mut totals = vec![0u64; self.config.num_tiles() as usize];
-        for (i, core) in self.cores.iter().enumerate() {
-            totals[i / cores_per_tile] += core.stats.retired;
-        }
-        totals
-    }
-
-    /// SPM accesses so far as `(tile-local, off-tile)` totals.
-    fn access_totals(&self) -> (u64, u64) {
-        let mut local = 0u64;
-        let mut remote = 0u64;
-        for core in &self.cores {
-            local += core.stats.accesses[AccessClass::TileLocal as usize];
-            remote += core.stats.accesses[AccessClass::GroupLocal as usize]
-                + core.stats.accesses[AccessClass::Remote as usize];
-        }
-        (local, remote)
+    /// Collects the time-series sampling snapshot at `now` (see
+    /// [`engine::collect_samples`]).
+    fn sample_inputs(&self, now: u64) -> SampleInputs {
+        engine::collect_samples(
+            self.cores.iter(),
+            self.config.cores_per_tile() as usize,
+            self.config.num_tiles() as usize,
+            &self.banks,
+            &self.storage,
+            &self.offchip,
+            now,
+        )
     }
 
     /// Pushes one sample per series for the window ending at `now`, with
     /// deltas read against `sampler`'s baselines. The baselines are left
-    /// untouched — [`Self::sample_epoch`] re-baselines afterwards, while
-    /// [`Self::crash_dump`] uses this directly to flush a partial epoch.
+    /// untouched — the engine re-baselines at epoch boundaries, while
+    /// [`Self::crash_dump`] uses this directly to flush a partial epoch
+    /// (zero-length windows are dropped, not clamped).
     fn push_samples(&self, sampler: &Sampler, now: u64) {
         let Some(hooks) = self.obs.as_ref() else {
             return;
         };
-        let series = &hooks.obs.series;
-        let retired = self.retired_per_tile();
-        let (local, remote) = self.access_totals();
-        let conflicts: u64 = self.banks.iter().map(|b| b.stats.conflicts).sum();
-        let offchip_bytes = self.offchip.total_bytes();
-        let spm_touches = self.storage.spm_word_touches();
-        let outstanding: u64 = self.cores.iter().map(|c| u64::from(c.outstanding())).sum();
-        let backlog = self.offchip.backlog(now);
-        let peak_bytes_per_cycle = self.offchip.bytes_per_cycle() as f64;
-
-        let elapsed = now.saturating_sub(sampler.last_cycle).max(1) as f64;
-        for (t, (&total, &baseline)) in retired
-            .iter()
-            .zip(sampler.retired_per_tile.iter())
-            .enumerate()
-        {
-            series.push(
-                &format!("ipc/tile{t}"),
-                now,
-                (total - baseline) as f64 / elapsed,
-            );
-        }
-        series.push(
-            "l1_local_rate",
-            now,
-            (local - sampler.local_accesses) as f64 / elapsed,
-        );
-        series.push(
-            "l1_remote_rate",
-            now,
-            (remote - sampler.remote_accesses) as f64 / elapsed,
-        );
-        series.push(
-            "bank_conflict_rate",
-            now,
-            (conflicts - sampler.conflicts) as f64 / elapsed,
-        );
-        series.push(
-            "offchip_occupancy",
-            now,
-            (offchip_bytes - sampler.offchip_bytes) as f64 / (elapsed * peak_bytes_per_cycle),
-        );
-        series.push("offchip_backlog", now, backlog as f64);
-        series.push("outstanding", now, outstanding as f64);
-        series.push(
-            "spm_touch_rate",
-            now,
-            (spm_touches - sampler.spm_touches) as f64 / elapsed,
-        );
-    }
-
-    /// Closes the current sampling epoch: pushes one sample per series and
-    /// re-baselines the counters. Called from `step()` once the clock
-    /// reaches the epoch boundary.
-    fn sample_epoch(&mut self) {
-        let Some(sampler) = self.sampler.take() else {
-            return;
-        };
-        let now = self.cycle;
-        self.push_samples(&sampler, now);
-        let mut sampler = sampler;
-        sampler.retired_per_tile = self.retired_per_tile();
-        let (local, remote) = self.access_totals();
-        sampler.local_accesses = local;
-        sampler.remote_accesses = remote;
-        sampler.conflicts = self.banks.iter().map(|b| b.stats.conflicts).sum();
-        sampler.offchip_bytes = self.offchip.total_bytes();
-        sampler.spm_touches = self.storage.spm_word_touches();
-        sampler.last_cycle = now;
-        sampler.next_at = now + sampler.window;
-        self.sampler = Some(sampler);
+        engine::push_samples(hooks, sampler, now, &self.sample_inputs(now));
     }
 
     /// The cluster configuration.
@@ -667,71 +632,11 @@ impl Cluster {
         self.faults.as_ref().map(FaultController::report)
     }
 
-    /// How many of a core's most recent retired instructions a
-    /// [`CoreDiagnostic`] carries (when tracing is enabled).
-    const DIAGNOSTIC_RECENT_WINDOW: usize = 8;
-
     /// Snapshot of every core's liveness state (used in deadlock
     /// diagnostics). When instruction tracing is enabled, each snapshot
     /// carries the core's last few retired instructions.
     pub fn core_diagnostics(&self) -> Vec<CoreDiagnostic> {
-        self.cores
-            .iter()
-            .enumerate()
-            .map(|(i, core)| {
-                let recent = self
-                    .trace
-                    .as_ref()
-                    .map(|trace| {
-                        let lines: Vec<String> = trace
-                            .for_core(GlobalCoreId::new(i as u32))
-                            .map(TraceEntry::to_string)
-                            .collect();
-                        let keep = lines.len().saturating_sub(Self::DIAGNOSTIC_RECENT_WINDOW);
-                        lines[keep..].to_vec()
-                    })
-                    .unwrap_or_default();
-                CoreDiagnostic {
-                    core: i as u32,
-                    pc: core.pc,
-                    halted: core.halted(),
-                    hung: core.hung(),
-                    outstanding: core.outstanding(),
-                    retired: core.stats.retired,
-                    recent,
-                }
-            })
-            .collect()
-    }
-
-    /// Applies timed faults due at the current cycle: bit flips corrupt
-    /// the stored word (and arm the ECC mask), hangs latch cores up.
-    fn apply_due_faults(&mut self) -> Result<(), SimError> {
-        let due = match self.faults.as_mut() {
-            Some(faults) => faults.take_due(self.cycle),
-            None => return Ok(()),
-        };
-        for fault in due {
-            match fault {
-                TimedFault::Flip { loc, mask } => {
-                    // A flip aimed outside the geometry (or at a remapped
-                    // word's logical home) still lands: the storage layer
-                    // resolves through the remap, so the spare takes it.
-                    if let Ok(word) = self.storage.read_loc(loc) {
-                        self.storage.write_loc(loc, word ^ mask)?;
-                        if let Some(faults) = self.faults.as_mut() {
-                            faults.note_flip(loc, mask);
-                        }
-                    }
-                }
-                TimedFault::Hang { core } => {
-                    if let Some(core) = self.cores.get_mut(core as usize) {
-                        core.hang();
-                    }
-                }
-            }
-        }
-        Ok(())
+        engine::core_diagnostics_from(self.cores.iter(), self.trace.as_ref())
     }
 
     /// Watchdog hook for clock jumps outside `step()` (DMA, resume): the
@@ -1055,13 +960,9 @@ impl Cluster {
         }
     }
 
-    fn latency_split(latency: &LatencyModel, class: AccessClass) -> (u32, u32) {
-        let total = latency.cycles(class);
-        let request = (total - 1) / 2;
-        (request, total - 1 - request)
-    }
-
-    /// Advances the cluster by one cycle.
+    /// Advances the cluster by one cycle (always on the sequential
+    /// engine; [`Cluster::run`] is the entry point for the parallel one —
+    /// both produce bit-identical results).
     ///
     /// # Errors
     ///
@@ -1070,369 +971,26 @@ impl Cluster {
     /// watchdog-detected deadlock.
     #[must_use = "a step can fail with a SimError that must not be ignored"]
     pub fn step(&mut self) -> Result<(), SimError> {
-        self.apply_due_faults()?;
-        self.serve_banks()?;
-        let delivered = self.deliver_responses();
-        let retired = self.issue_cores()?;
-        let mut deadlock = None;
-        if let Some(watchdog) = self.watchdog.as_mut() {
-            if delivered || retired {
-                watchdog.note_progress(self.cycle);
-            } else if watchdog.expired(self.cycle) {
-                deadlock = Some(watchdog.stalled_for(self.cycle));
-            }
-        }
-        if let Some(stalled_for) = deadlock {
-            if let Some(flight) = self.flight_handle() {
-                flight.record(
-                    self.cycle,
-                    "watchdog",
-                    None,
-                    format!("expired: no forward progress for {stalled_for} cycles"),
-                );
-            }
-            return Err(SimError::Deadlock {
-                stalled_for,
-                diagnostics: self.core_diagnostics(),
-            });
-        }
-        self.cycle += 1;
-        if self
-            .sampler
-            .as_ref()
-            .is_some_and(|sampler| self.cycle >= sampler.next_at)
+        let (mut ms, mut ph, mut cells) = engine::split(self);
+        let mut views: Vec<&mut engine::TileCell<'_>> = cells.iter_mut().collect();
+        engine::pre_tick(&mut ms, &mut ph, &mut views)?;
         {
-            self.sample_epoch();
-        }
-        Ok(())
-    }
-
-    fn serve_banks(&mut self) -> Result<(), SimError> {
-        let now = self.cycle;
-        let flight = self.flight_handle();
-        for bank in &mut self.banks {
-            bank.stats.max_queue_depth = bank.stats.max_queue_depth.max(bank.queue.len() as u64);
-            let mut best: Option<usize> = None;
-            let mut contenders = 0;
-            for (i, access) in bank.queue.iter().enumerate() {
-                if access.arrival < now {
-                    contenders += 1;
-                    let better = match best {
-                        None => true,
-                        Some(b) => access.arrival < bank.queue[b].arrival,
-                    };
-                    if better {
-                        best = Some(i);
-                    }
-                }
-            }
-            let Some(index) = best else { continue };
-            if contenders > 1 {
-                bank.stats.conflicts += (contenders - 1) as u64;
-                if let Some(hooks) = &self.obs {
-                    hooks.bank_conflicts.add((contenders - 1) as u64);
-                }
-            }
-            let access = bank.queue.swap_remove(index);
-            bank.stats.served += 1;
-            if let Some(flight) = &flight {
-                let kind = match access.kind {
-                    MemAccessKind::Load { .. } => "load",
-                    MemAccessKind::Store { .. } => "store",
-                    MemAccessKind::Amo { .. } => "amo",
-                };
-                flight.record(
-                    now,
-                    "mem",
-                    Some(access.core),
-                    format!(
-                        "{kind} served at tile {} bank {} word {}",
-                        access.loc.tile.0, access.loc.bank.0, access.loc.word
-                    ),
-                );
-            }
-            let mut old_word = self.storage.read_loc(access.loc)?;
-            // SEC-DED check on every access that observes the stored word
-            // (a full-word store overwrites it without reading).
-            let reads_word = !matches!(
-                access.kind,
-                MemAccessKind::Store {
-                    width: MemWidth::Word,
-                    ..
-                }
-            );
-            let mut extra_resp = 0u32;
-            if reads_word {
-                if let Some(faults) = self.faults.as_mut() {
-                    match faults.ecc_read(now, access.loc, old_word) {
-                        EccOutcome::Clean => {}
-                        EccOutcome::Corrected { value } => {
-                            // Correct the returned word and scrub storage.
-                            old_word = value;
-                            self.storage.write_loc(access.loc, value)?;
-                            extra_resp = self.params.ecc_correction_penalty;
-                            let core = &mut self.cores[access.core as usize];
-                            if !core.halted() {
-                                core.insert_bubble(extra_resp);
-                                core.stats.stall_ecc += extra_resp as u64;
-                            }
-                            if let Some(hooks) = &self.obs {
-                                hooks.ecc_corrected.inc();
-                            }
-                        }
-                        EccOutcome::Uncorrectable { mask } => {
-                            return Err(SimError::EccUncorrectable {
-                                loc: access.loc,
-                                mask,
-                            });
-                        }
-                    }
-                }
-            }
-            let shift = (access.addr & 3) * 8;
-            let response_value = match access.kind {
-                MemAccessKind::Load { width, .. } => match width {
-                    MemWidth::Byte => (old_word >> shift) & 0xff,
-                    MemWidth::Half => (old_word >> shift) & 0xffff,
-                    MemWidth::Word => old_word,
-                },
-                MemAccessKind::Store { width, value } => {
-                    let new = match width {
-                        MemWidth::Byte => (old_word & !(0xff << shift)) | ((value & 0xff) << shift),
-                        MemWidth::Half => {
-                            (old_word & !(0xffff << shift)) | ((value & 0xffff) << shift)
-                        }
-                        MemWidth::Word => value,
-                    };
-                    self.storage.write_loc(access.loc, new)?;
-                    0
-                }
-                MemAccessKind::Amo { op, value, .. } => {
-                    self.storage
-                        .write_loc(access.loc, op.apply(old_word, value))?;
-                    old_word
-                }
-            };
-            // Any write leaves a freshly encoded (error-free) word behind.
-            if matches!(
-                access.kind,
-                MemAccessKind::Store { .. } | MemAccessKind::Amo { .. }
-            ) {
-                if let Some(faults) = self.faults.as_mut() {
-                    faults.ecc_clear(access.loc);
-                }
-            }
-            let reg = access.kind.response_reg();
-            let raw = sign_adjust(access.kind, response_value);
-            self.responses[access.core as usize].push(Response {
-                due: now + (access.resp_latency + extra_resp) as u64,
-                reg,
-                value: raw,
-            });
-        }
-        Ok(())
-    }
-
-    /// Returns whether any response was delivered (forward progress).
-    fn deliver_responses(&mut self) -> bool {
-        let now = self.cycle;
-        let mut delivered = false;
-        for (core, responses) in self.cores.iter_mut().zip(&mut self.responses) {
-            let mut i = 0;
-            while i < responses.len() {
-                if responses[i].due <= now {
-                    let r = responses.swap_remove(i);
-                    core.complete(r.reg, r.value);
-                    delivered = true;
-                } else {
-                    i += 1;
-                }
+            let ctx = engine::local_ctx(&ms, &ph);
+            for cell in views.iter_mut() {
+                engine::local_tile(&ctx, cell);
             }
         }
-        delivered
-    }
-
-    /// Returns whether any core retired an instruction (forward progress).
-    fn issue_cores(&mut self) -> Result<bool, SimError> {
-        if self.program.is_empty() {
-            return Err(SimError::NoProgram);
-        }
-        let now = self.cycle;
-        let cores_per_tile = self.config.cores_per_tile();
-        self.remote_issued.fill(0);
-        let mut retired_any = false;
-        for index in 0..self.cores.len() {
-            let core_id = GlobalCoreId::new(index as u32);
-            let (tile, _) = core_id.split(cores_per_tile);
-            let core = &mut self.cores[index];
-            if core.hung() {
-                // Latched up by an injected fault: burns cycles forever.
-                core.stats.halted_cycles += 1;
-                continue;
-            }
-            if core.halted() {
-                core.stats.halted_cycles += 1;
-                continue;
-            }
-            if core.consume_bubble() {
-                continue;
-            }
-            let pc = core.pc;
-            if !self.icaches[tile.index()].access(pc) {
-                let penalty = self.params.icache_miss_penalty;
-                core.insert_bubble(penalty);
-                core.stats.stall_icache += penalty as u64;
-                core.stats.icache_misses += 1;
-                if let Some(hooks) = &self.obs {
-                    hooks.icache_misses.inc();
-                }
-                continue;
-            }
-            let Some(instr) = self.program.fetch(pc) else {
-                return Err(SimError::PcOutOfRange { core: core_id, pc });
-            };
-            match core.check_issue(instr, self.params.max_outstanding) {
-                Err(Stall::Scoreboard) => {
-                    core.stats.stall_scoreboard += 1;
-                    continue;
-                }
-                Err(Stall::Structural) => {
-                    core.stats.stall_structural += 1;
-                    continue;
-                }
-                Ok(()) => {}
-            }
-            // Remote-port arbitration: accesses leaving the tile go through
-            // its limited remote request ports (4 in MemPool); a tile whose
-            // ports are taken this cycle stalls further remote issues.
-            if let Some(addr) = mem_probe_addr(instr, &core.regs) {
-                if let MemoryRegion::Spm(loc) = self.storage.map().locate(addr & !3) {
-                    if loc.tile != tile {
-                        let used = &mut self.remote_issued[tile.index()];
-                        if *used >= self.config.remote_ports_per_tile() {
-                            core.stats.stall_structural += 1;
-                            continue;
-                        }
-                        *used += 1;
-                    }
-                }
-            }
-            core.stats.retired += 1;
-            retired_any = true;
-            if let Some(trace) = &mut self.trace {
-                trace.record(TraceEntry {
-                    cycle: now,
-                    core: core_id,
-                    pc,
-                    instr,
-                });
-            }
-            match exec::issue(instr, pc, &mut core.regs, index as u32) {
-                Issue::Next { pc: next } => {
-                    if next != pc.wrapping_add(4) && self.params.taken_branch_penalty > 0 {
-                        core.insert_bubble(self.params.taken_branch_penalty);
-                        core.stats.stall_branch += self.params.taken_branch_penalty as u64;
-                    }
-                    core.pc = next;
-                }
-                Issue::Halt => {
-                    core.halt();
-                    if let Some(hooks) = &self.obs {
-                        hooks.obs.spans.begin(hooks.core_tracks[index], "wfi", now);
-                    }
-                }
-                Issue::Mem { req, next_pc } => {
-                    core.pc = next_pc;
-                    let width = match req.kind {
-                        MemAccessKind::Load { width, .. } | MemAccessKind::Store { width, .. } => {
-                            width
-                        }
-                        MemAccessKind::Amo { .. } => MemWidth::Word,
-                    };
-                    match self.storage.decode(req.addr, width)? {
-                        MemoryRegion::Spm(loc) => {
-                            // The destination tile's F2F via carries every
-                            // access to that tile's banks on the memory die.
-                            let mut extra_req = 0u32;
-                            if let Some(faults) = self.faults.as_mut() {
-                                match faults.link_state(loc.tile) {
-                                    LinkState::Healthy => {}
-                                    LinkState::Degraded(extra) => {
-                                        faults.record_retry(now, loc.tile, extra as u64);
-                                        core.insert_bubble(extra);
-                                        core.stats.stall_fault_retry += extra as u64;
-                                        if let Some(hooks) = &self.obs {
-                                            hooks.fault_retries.inc();
-                                        }
-                                        extra_req = extra;
-                                    }
-                                    LinkState::Dead => match faults.dead_link_policy() {
-                                        DeadLinkPolicy::Error => {
-                                            return Err(SimError::LinkDead { tile: loc.tile });
-                                        }
-                                        DeadLinkPolicy::BlackHole => {
-                                            // The request vanishes into the
-                                            // open via; the scoreboard entry
-                                            // is pinned forever.
-                                            faults.record_blackhole(now, loc.tile, index as u32);
-                                            core.mark_pending(req.kind.response_reg());
-                                            continue;
-                                        }
-                                    },
-                                }
-                            }
-                            let class = LatencyModel::classify(&self.config, tile, loc.tile);
-                            core.stats
-                                .record_access(class, self.topo.route(tile, loc.tile).network);
-                            core.mark_pending(req.kind.response_reg());
-                            let (req_lat, resp_lat) =
-                                Self::latency_split(&self.params.latency, class);
-                            let bank = loc.global_bank(&self.config);
-                            self.banks[bank.index()].queue.push(PendingAccess {
-                                arrival: now + (req_lat + extra_req) as u64,
-                                core: index as u32,
-                                loc,
-                                kind: req.kind,
-                                resp_latency: resp_lat,
-                                addr: req.addr,
-                            });
-                        }
-                        MemoryRegion::External(_) => {
-                            // Word-granular access over the off-chip port.
-                            core.mark_pending(req.kind.response_reg());
-                            let done = self.offchip.schedule(now, width.bytes() as u64);
-                            let value = match req.kind {
-                                MemAccessKind::Load { .. } => self.storage.read(req.addr, width)?,
-                                MemAccessKind::Store { value, .. } => {
-                                    self.storage.write(req.addr, width, value)?;
-                                    0
-                                }
-                                MemAccessKind::Amo { op, value, .. } => {
-                                    let old = self.storage.read(req.addr, MemWidth::Word)?;
-                                    self.storage.write(
-                                        req.addr,
-                                        MemWidth::Word,
-                                        op.apply(old, value),
-                                    )?;
-                                    old
-                                }
-                            };
-                            self.responses[index].push(Response {
-                                due: done,
-                                reg: req.kind.response_reg(),
-                                value: sign_adjust(req.kind, value),
-                            });
-                        }
-                        MemoryRegion::Unmapped => unreachable!("decode rejects unmapped"),
-                    }
-                }
-            }
-        }
-        Ok(retired_any)
+        engine::commit_tick(&mut ms, &mut ph, &mut views)
     }
 
     /// Runs until every core halts, returning the cycle count at that
     /// point.
+    ///
+    /// With [`SimParams::threads`]` > 1` (see [`Cluster::set_threads`])
+    /// the run advances tile-local state on a host-thread pool with a
+    /// sequential, deterministically ordered commit barrier per cycle —
+    /// bit-identical to the sequential engine in every observable way
+    /// (stats, time-series, fault reports, errors).
     ///
     /// # Errors
     ///
@@ -1440,6 +998,10 @@ impl Cluster {
     /// any fault raised while stepping.
     #[must_use = "a run can fail with a SimError that must not be ignored"]
     pub fn run(&mut self, max_cycles: u64) -> Result<u64, SimError> {
+        let threads = self.threads();
+        if threads > 1 {
+            return engine::run_parallel(self, max_cycles, threads);
+        }
         let deadline = self.cycle + max_cycles;
         while !self.quiescent() {
             if self.cycle >= deadline {
@@ -1535,11 +1097,10 @@ impl Cluster {
 
         // Flush the in-flight sampling epoch so a crash landing between
         // window boundaries (or before the first one) still exports its
-        // final counter values.
+        // final counter values. A zero-length window (crash exactly at an
+        // epoch boundary) is dropped by `push_samples` itself.
         if let Some(sampler) = &self.sampler {
-            if self.cycle > sampler.last_cycle {
-                self.push_samples(sampler, self.cycle);
-            }
+            self.push_samples(sampler, self.cycle);
         }
 
         let (metrics, timeseries, chrome) = match &self.obs {
@@ -1590,6 +1151,18 @@ impl Cluster {
     }
 }
 
+/// How many of a core's most recent retired instructions a
+/// [`CoreDiagnostic`] carries (when tracing is enabled).
+pub(crate) const DIAGNOSTIC_RECENT_WINDOW: usize = 8;
+
+/// Splits a zero-load latency into request and response halves around the
+/// single bank-service cycle.
+pub(crate) fn latency_split(latency: &LatencyModel, class: AccessClass) -> (u32, u32) {
+    let total = latency.cycles(class);
+    let request = (total - 1) / 2;
+    (request, total - 1 - request)
+}
+
 /// Direction tag used in DMA flight-event messages.
 fn dma_dir(to_spm: bool) -> &'static str {
     if to_spm {
@@ -1602,7 +1175,10 @@ fn dma_dir(to_spm: bool) -> &'static str {
 /// Address an instruction is about to access, computed *without* side
 /// effects (post-increments are not applied) — used for remote-port
 /// arbitration before the instruction actually issues.
-fn mem_probe_addr(instr: mempool_isa::Instr, regs: &mempool_isa::RegFile) -> Option<u32> {
+pub(crate) fn mem_probe_addr(
+    instr: mempool_isa::Instr,
+    regs: &mempool_isa::RegFile,
+) -> Option<u32> {
     use mempool_isa::Instr;
     match instr {
         Instr::Load { rs1, offset, .. } | Instr::Store { rs1, offset, .. } => {
@@ -1616,7 +1192,7 @@ fn mem_probe_addr(instr: mempool_isa::Instr, regs: &mempool_isa::RegFile) -> Opt
 }
 
 /// Applies load sign-extension for sub-word loads.
-fn sign_adjust(kind: MemAccessKind, raw: u32) -> u32 {
+pub(crate) fn sign_adjust(kind: MemAccessKind, raw: u32) -> u32 {
     match kind {
         MemAccessKind::Load {
             width,
@@ -1635,6 +1211,7 @@ fn sign_adjust(kind: MemAccessKind, raw: u32) -> u32 {
 mod tests {
     use super::*;
     use mempool_arch::SpmCapacity;
+    use mempool_fault::DeadLinkPolicy;
 
     fn tiny_config() -> ClusterConfig {
         ClusterConfig::builder()
@@ -2768,6 +2345,58 @@ mod tests {
         let doc = Json::parse(&obs.series.to_json().to_pretty()).unwrap();
         let back = mempool_obs::TimeSeries::from_json(&doc).unwrap();
         assert_eq!(back.names(), names);
+    }
+
+    #[test]
+    fn crash_dump_at_an_epoch_boundary_drops_the_zero_length_window() {
+        use mempool_obs::Obs;
+        let obs = Obs::new();
+        let mut cluster = Cluster::new(tiny_config(), SimParams::default());
+        cluster.attach_obs(&obs, "boundary");
+        cluster.enable_timeseries(16);
+        cluster.load_program(
+            Program::assemble(
+                r#"
+                    li   t1, 1000
+                loop:
+                    addi t1, t1, -1
+                    bnez t1, loop
+                    wfi
+                "#,
+            )
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        // Step to exactly the first epoch boundary: the sampler fires at
+        // cycle 16 and re-baselines, so the next window has zero length.
+        for _ in 0..16 {
+            cluster.step().unwrap();
+        }
+        assert_eq!(cluster.cycle(), 16);
+        let ipc = obs.series.samples("ipc/tile0");
+        assert_eq!(ipc.len(), 1, "exactly one full epoch elapsed");
+        assert_eq!(ipc[0].cycle, 16);
+
+        // A crash dump right on the boundary must not flush a second,
+        // zero-length sample (the old clamped denominator fabricated one).
+        let dump = cluster.crash_dump(&SimError::Timeout { cycles: 16 });
+        let ipc = obs.series.samples("ipc/tile0");
+        assert_eq!(ipc.len(), 1, "zero-length windows are dropped, not clamped");
+        assert!(Json::parse(&dump.to_pretty()).is_ok());
+
+        // Two cycles later the flush covers a real (partial) window and
+        // divides by its true length, not a clamped 1.
+        cluster.step().unwrap();
+        cluster.step().unwrap();
+        cluster.crash_dump(&SimError::Timeout { cycles: 18 });
+        let ipc = obs.series.samples("ipc/tile0");
+        assert_eq!(ipc.len(), 2, "a partial epoch still flushes");
+        assert_eq!(ipc[1].cycle, 18);
+        assert!(
+            ipc[1].value <= 1.0,
+            "single-core IPC over the true 2-cycle window stays <= 1, got {}",
+            ipc[1].value
+        );
     }
 
     #[test]

@@ -1,0 +1,1112 @@
+//! The phased-tick execution engine.
+//!
+//! One simulated cycle is split into three phases:
+//!
+//! 1. **pre phase** (sequential) — timed faults are applied, every bank
+//!    serves at most one request, and the per-tick link-health snapshot is
+//!    refreshed;
+//! 2. **local phase** (parallelizable) — each tile independently delivers
+//!    its cores' due responses and issues at most one instruction per
+//!    core. The phase is *shared-nothing*: a tile mutates only its own
+//!    cores, I$, response queues, and scratch buffer, and reads only
+//!    immutable context (config, topology, program, the address map, and
+//!    the link snapshot). Every cross-tile side effect — bank pushes,
+//!    off-chip transactions, trace entries, fault/observability events —
+//!    is deferred into the tile's [`TileScratch`];
+//! 3. **commit phase** (sequential) — scratch buffers are drained in
+//!    tile-index order, which reproduces the sequential engine's global
+//!    core order exactly, then the watchdog, clock, and time-series
+//!    sampling advance.
+//!
+//! Because the local phase is shared-nothing and the commit drain order is
+//! fixed, running tiles on `N` host threads is bit-identical to running
+//! them on one: same stats, same artifacts, same errors. The parallel
+//! driver ([`run_parallel`]) amortizes thread startup across the whole run
+//! with one [`std::thread::scope`] and two barriers per tick; the
+//! per-tile [`Mutex`]es are uncontended by construction (a tile is touched
+//! by exactly one thread per phase) and exist only to prove exclusive
+//! access to the borrow checker under `#![forbid(unsafe_code)]`.
+//!
+//! Observability ([`ClusterObs`]), fault bookkeeping
+//! ([`FaultController`]), and tracing are `Rc`-based and never cross a
+//! thread boundary: they are only touched from the sequential phases.
+//!
+//! Error semantics: a core that faults during the local phase stops
+//! issuing for the rest of its *tile's* phase; other tiles complete the
+//! cycle. The commit drains every scratch and then reports the faulting
+//! core with the lowest global index — deterministic at every thread
+//! count.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+
+use mempool_arch::{ClusterConfig, GlobalCoreId, LatencyModel, MemoryRegion, TileId, Topology};
+use mempool_fault::{
+    CoreDiagnostic, DeadLinkPolicy, EccOutcome, FaultController, LinkState, TimedFault, Watchdog,
+};
+use mempool_isa::exec::{self, Issue, MemAccessKind, MemWidth};
+use mempool_isa::Program;
+
+use crate::cluster::{
+    latency_split, mem_probe_addr, sign_adjust, Bank, Cluster, ClusterObs, PendingAccess, Response,
+    Sampler, SimError, DIAGNOSTIC_RECENT_WINDOW,
+};
+use crate::core::{Core, Stall};
+use crate::icache::ICache;
+use crate::memory::Storage;
+use crate::offchip::OffchipPort;
+use crate::params::SimParams;
+use crate::trace::{Trace, TraceEntry};
+
+/// A deferred off-chip (external-memory) access issued in the local phase
+/// and resolved at commit, in issue order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExternalIntent {
+    /// Global id of the issuing core.
+    pub core: u32,
+    /// Byte address of the access.
+    pub addr: u32,
+    /// The access kind (load/store/AMO with operands).
+    pub kind: MemAccessKind,
+    /// Access width.
+    pub width: MemWidth,
+}
+
+/// A deferred fault-bookkeeping event from the local phase, replayed at
+/// commit in issue order so the flight-ring sequence matches the
+/// sequential engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FaultNote {
+    /// An access retried through a degraded F2F link.
+    Retry {
+        /// Destination tile whose link is degraded.
+        tile: TileId,
+        /// Extra cycles charged by the retry.
+        extra: u32,
+    },
+    /// An access black-holed by a dead F2F link.
+    BlackHole {
+        /// Destination tile whose link is open.
+        tile: TileId,
+        /// Global id of the issuing core.
+        core: u32,
+    },
+}
+
+/// Per-tile scratch buffer: every side effect the local phase may not
+/// apply directly, drained (in tile-index order) by [`commit_tick`].
+#[derive(Debug, Default)]
+pub(crate) struct TileScratch {
+    /// Deferred bank-queue pushes as `(global bank index, access)`.
+    pub bank_pushes: Vec<(usize, PendingAccess)>,
+    /// Deferred off-chip accesses.
+    pub externals: Vec<ExternalIntent>,
+    /// Deferred instruction-trace entries.
+    pub trace: Vec<TraceEntry>,
+    /// Deferred fault/flight events, in issue order.
+    pub fault_events: Vec<FaultNote>,
+    /// Global core ids that executed `wfi` this cycle (obs span begins).
+    pub halts: Vec<usize>,
+    /// I$ misses this cycle (observability counter delta).
+    pub icache_misses: u64,
+    /// First error this tile hit, with the faulting core's global id.
+    pub error: Option<(u32, SimError)>,
+    /// Whether any response was delivered to this tile's cores.
+    pub delivered: bool,
+    /// Whether any of this tile's cores retired an instruction.
+    pub retired: bool,
+}
+
+/// Per-tick snapshot of F2F link health, refreshed in the pre phase so
+/// the local phase can consult link state without touching the
+/// (`Rc`-based, thread-confined) [`FaultController`].
+#[derive(Debug, Default)]
+pub(crate) struct LinkSnapshot {
+    active: bool,
+    policy: DeadLinkPolicy,
+    states: Vec<LinkState>,
+}
+
+impl LinkSnapshot {
+    /// Re-captures link states from the controller (if any).
+    pub(crate) fn refresh(&mut self, faults: Option<&FaultController>, num_tiles: u32) {
+        self.states.clear();
+        match faults {
+            Some(faults) => {
+                self.active = true;
+                self.policy = faults.dead_link_policy();
+                self.states
+                    .extend((0..num_tiles).map(|t| faults.link_state(TileId(t))));
+            }
+            None => self.active = false,
+        }
+    }
+
+    fn state(&self, tile: TileId) -> LinkState {
+        if !self.active {
+            return LinkState::Healthy;
+        }
+        self.states
+            .get(tile.index())
+            .copied()
+            .unwrap_or(LinkState::Healthy)
+    }
+
+    fn policy(&self) -> DeadLinkPolicy {
+        self.policy
+    }
+}
+
+/// The mutable state one tile owns exclusively during the local phase.
+#[derive(Debug)]
+pub(crate) struct TileCell<'a> {
+    /// Tile index.
+    pub tile: u32,
+    /// This tile's cores (contiguous global-id slice).
+    pub cores: &'a mut [Core],
+    /// This tile's instruction cache.
+    pub icache: &'a mut ICache,
+    /// Per-core in-flight response queues for this tile's cores.
+    pub responses: &'a mut [Vec<Response>],
+    /// This tile's deferred-side-effect buffer.
+    pub scratch: &'a mut TileScratch,
+}
+
+/// State shared read-only with the local phase: the storage (for address
+/// decode only — no data is read or written outside the sequential
+/// phases), the link snapshot, and the tick's cycle number. In parallel
+/// mode this lives behind the run's [`RwLock`].
+#[derive(Debug)]
+pub(crate) struct PhaseShared<'a> {
+    /// Backing storage; the local phase only calls its pure `decode`.
+    pub storage: &'a mut Storage,
+    /// Per-tick link-health snapshot.
+    pub links: &'a mut LinkSnapshot,
+    /// The cycle this tick simulates.
+    pub now: u64,
+}
+
+/// Everything only the sequential phases touch.
+#[derive(Debug)]
+pub(crate) struct MainState<'a> {
+    pub config: &'a ClusterConfig,
+    pub topo: &'a Topology,
+    pub params: &'a SimParams,
+    pub program: &'a Program,
+    pub banks: &'a mut Vec<Bank>,
+    pub offchip: &'a mut OffchipPort,
+    pub trace: &'a mut Option<Trace>,
+    pub obs: &'a Option<ClusterObs>,
+    pub faults: &'a mut Option<FaultController>,
+    pub watchdog: &'a mut Option<Watchdog>,
+    pub sampler: &'a mut Option<Sampler>,
+    pub flight_enabled: bool,
+    pub cycle: &'a mut u64,
+}
+
+/// Read-only context every tile's local phase runs against.
+#[derive(Debug)]
+pub(crate) struct LocalCtx<'a> {
+    pub config: &'a ClusterConfig,
+    pub topo: &'a Topology,
+    pub params: &'a SimParams,
+    pub program: &'a Program,
+    pub storage: &'a Storage,
+    pub links: &'a LinkSnapshot,
+    pub trace_on: bool,
+    pub now: u64,
+}
+
+/// Borrows a cluster apart into the three phase views.
+pub(crate) fn split(c: &mut Cluster) -> (MainState<'_>, PhaseShared<'_>, Vec<TileCell<'_>>) {
+    let Cluster {
+        config,
+        topo,
+        params,
+        storage,
+        program,
+        cores,
+        icaches,
+        banks,
+        responses,
+        offchip,
+        cycle,
+        trace,
+        obs,
+        faults,
+        watchdog,
+        sampler,
+        flight_enabled,
+        scratches,
+        links,
+        ..
+    } = c;
+    let cpt = config.cores_per_tile() as usize;
+    let cells = cores
+        .chunks_mut(cpt)
+        .zip(responses.chunks_mut(cpt))
+        .zip(icaches.iter_mut().zip(scratches.iter_mut()))
+        .enumerate()
+        .map(|(tile, ((cores, responses), (icache, scratch)))| TileCell {
+            tile: tile as u32,
+            cores,
+            icache,
+            responses,
+            scratch,
+        })
+        .collect();
+    let now = *cycle;
+    (
+        MainState {
+            config,
+            topo,
+            params,
+            program,
+            banks,
+            offchip,
+            trace,
+            obs,
+            faults,
+            watchdog,
+            sampler,
+            flight_enabled: *flight_enabled,
+            cycle,
+        },
+        PhaseShared {
+            storage,
+            links,
+            now,
+        },
+        cells,
+    )
+}
+
+/// Builds the local-phase context from the main/shared views.
+pub(crate) fn local_ctx<'b>(ms: &'b MainState<'_>, ph: &'b PhaseShared<'_>) -> LocalCtx<'b> {
+    LocalCtx {
+        config: ms.config,
+        topo: ms.topo,
+        params: ms.params,
+        program: ms.program,
+        storage: &*ph.storage,
+        links: &*ph.links,
+        trace_on: ms.trace.is_some(),
+        now: ph.now,
+    }
+}
+
+/// Whether the cluster is fully quiescent (see [`Cluster::quiescent`]),
+/// computed over the phase views.
+pub(crate) fn tick_quiescent(banks: &[Bank], cells: &[&mut TileCell<'_>]) -> bool {
+    cells.iter().all(|cell| cell.cores.iter().all(Core::halted))
+        && banks.iter().all(|b| b.queue.is_empty())
+        && cells
+            .iter()
+            .all(|cell| cell.responses.iter().all(Vec::is_empty))
+        && cells
+            .iter()
+            .all(|cell| cell.cores.iter().all(|c| c.outstanding() == 0))
+}
+
+/// The sequential pre phase: timed faults, bank service, the no-program
+/// check, and the link-snapshot refresh.
+pub(crate) fn pre_tick(
+    ms: &mut MainState<'_>,
+    ph: &mut PhaseShared<'_>,
+    cells: &mut [&mut TileCell<'_>],
+) -> Result<(), SimError> {
+    ph.now = *ms.cycle;
+    apply_due_faults(ms, ph, cells)?;
+    serve_banks(ms, ph, cells)?;
+    if ms.program.is_empty() {
+        return Err(SimError::NoProgram);
+    }
+    ph.links.refresh(ms.faults.as_ref(), ms.config.num_tiles());
+    Ok(())
+}
+
+/// Applies timed faults due at the current cycle: bit flips corrupt the
+/// stored word (and arm the ECC mask), hangs latch cores up.
+fn apply_due_faults(
+    ms: &mut MainState<'_>,
+    ph: &mut PhaseShared<'_>,
+    cells: &mut [&mut TileCell<'_>],
+) -> Result<(), SimError> {
+    let due = match ms.faults.as_mut() {
+        Some(faults) => faults.take_due(*ms.cycle),
+        None => return Ok(()),
+    };
+    let cpt = ms.config.cores_per_tile() as usize;
+    for fault in due {
+        match fault {
+            TimedFault::Flip { loc, mask } => {
+                // A flip aimed outside the geometry (or at a remapped
+                // word's logical home) still lands: the storage layer
+                // resolves through the remap, so the spare takes it.
+                if let Ok(word) = ph.storage.read_loc(loc) {
+                    ph.storage.write_loc(loc, word ^ mask)?;
+                    if let Some(faults) = ms.faults.as_mut() {
+                        faults.note_flip(loc, mask);
+                    }
+                }
+            }
+            TimedFault::Hang { core } => {
+                let (tile, local) = (core as usize / cpt, core as usize % cpt);
+                if let Some(core) = cells
+                    .get_mut(tile)
+                    .and_then(|cell| cell.cores.get_mut(local))
+                {
+                    core.hang();
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The sequential bank-service phase: every bank serves at most one
+/// request whose network arrival lies strictly in the past (earliest
+/// arrival wins, FIFO among ties), counting conflict cycles.
+fn serve_banks(
+    ms: &mut MainState<'_>,
+    ph: &mut PhaseShared<'_>,
+    cells: &mut [&mut TileCell<'_>],
+) -> Result<(), SimError> {
+    let now = *ms.cycle;
+    let flight = if ms.flight_enabled {
+        ms.obs.as_ref().map(|hooks| hooks.obs.flight.clone())
+    } else {
+        None
+    };
+    let cpt = ms.config.cores_per_tile() as usize;
+    for bank in ms.banks.iter_mut() {
+        bank.stats.max_queue_depth = bank.stats.max_queue_depth.max(bank.queue.len() as u64);
+        let mut best: Option<usize> = None;
+        let mut contenders = 0;
+        for (i, access) in bank.queue.iter().enumerate() {
+            if access.arrival < now {
+                contenders += 1;
+                let better = match best {
+                    None => true,
+                    Some(b) => access.arrival < bank.queue[b].arrival,
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        let Some(index) = best else { continue };
+        if contenders > 1 {
+            bank.stats.conflicts += (contenders - 1) as u64;
+            if let Some(hooks) = ms.obs {
+                hooks.bank_conflicts.add((contenders - 1) as u64);
+            }
+        }
+        let access = bank.queue.swap_remove(index);
+        bank.stats.served += 1;
+        if let Some(flight) = &flight {
+            let kind = match access.kind {
+                MemAccessKind::Load { .. } => "load",
+                MemAccessKind::Store { .. } => "store",
+                MemAccessKind::Amo { .. } => "amo",
+            };
+            flight.record(
+                now,
+                "mem",
+                Some(access.core),
+                format!(
+                    "{kind} served at tile {} bank {} word {}",
+                    access.loc.tile.0, access.loc.bank.0, access.loc.word
+                ),
+            );
+        }
+        let mut old_word = ph.storage.read_loc(access.loc)?;
+        // SEC-DED check on every access that observes the stored word
+        // (a full-word store overwrites it without reading).
+        let reads_word = !matches!(
+            access.kind,
+            MemAccessKind::Store {
+                width: MemWidth::Word,
+                ..
+            }
+        );
+        let mut extra_resp = 0u32;
+        if reads_word {
+            if let Some(faults) = ms.faults.as_mut() {
+                match faults.ecc_read(now, access.loc, old_word) {
+                    EccOutcome::Clean => {}
+                    EccOutcome::Corrected { value } => {
+                        // Correct the returned word and scrub storage.
+                        old_word = value;
+                        ph.storage.write_loc(access.loc, value)?;
+                        extra_resp = ms.params.ecc_correction_penalty;
+                        let (tile, local) =
+                            (access.core as usize / cpt, access.core as usize % cpt);
+                        let core = &mut cells[tile].cores[local];
+                        if !core.halted() {
+                            core.insert_bubble(extra_resp);
+                            core.stats.stall_ecc += extra_resp as u64;
+                        }
+                        if let Some(hooks) = ms.obs {
+                            hooks.ecc_corrected.inc();
+                        }
+                    }
+                    EccOutcome::Uncorrectable { mask } => {
+                        return Err(SimError::EccUncorrectable {
+                            loc: access.loc,
+                            mask,
+                        });
+                    }
+                }
+            }
+        }
+        let shift = (access.addr & 3) * 8;
+        let response_value = match access.kind {
+            MemAccessKind::Load { width, .. } => match width {
+                MemWidth::Byte => (old_word >> shift) & 0xff,
+                MemWidth::Half => (old_word >> shift) & 0xffff,
+                MemWidth::Word => old_word,
+            },
+            MemAccessKind::Store { width, value } => {
+                let new = match width {
+                    MemWidth::Byte => (old_word & !(0xff << shift)) | ((value & 0xff) << shift),
+                    MemWidth::Half => (old_word & !(0xffff << shift)) | ((value & 0xffff) << shift),
+                    MemWidth::Word => value,
+                };
+                ph.storage.write_loc(access.loc, new)?;
+                0
+            }
+            MemAccessKind::Amo { op, value, .. } => {
+                ph.storage
+                    .write_loc(access.loc, op.apply(old_word, value))?;
+                old_word
+            }
+        };
+        // Any write leaves a freshly encoded (error-free) word behind.
+        if matches!(
+            access.kind,
+            MemAccessKind::Store { .. } | MemAccessKind::Amo { .. }
+        ) {
+            if let Some(faults) = ms.faults.as_mut() {
+                faults.ecc_clear(access.loc);
+            }
+        }
+        let reg = access.kind.response_reg();
+        let raw = sign_adjust(access.kind, response_value);
+        let (tile, local) = (access.core as usize / cpt, access.core as usize % cpt);
+        cells[tile].responses[local].push(Response {
+            due: now + (access.resp_latency + extra_resp) as u64,
+            reg,
+            value: raw,
+        });
+    }
+    Ok(())
+}
+
+/// The local phase for one tile: deliver due responses to this tile's
+/// cores, then issue at most one instruction per core, deferring every
+/// cross-tile side effect into the tile's scratch.
+pub(crate) fn local_tile(ctx: &LocalCtx<'_>, cell: &mut TileCell<'_>) {
+    let now = ctx.now;
+    // Response delivery (forward progress).
+    for (core, responses) in cell.cores.iter_mut().zip(cell.responses.iter_mut()) {
+        let mut i = 0;
+        while i < responses.len() {
+            if responses[i].due <= now {
+                let r = responses.swap_remove(i);
+                core.complete(r.reg, r.value);
+                cell.scratch.delivered = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Issue.
+    let tile = TileId(cell.tile);
+    let base = cell.tile as usize * cell.cores.len();
+    // Remote-port arbitration: accesses leaving the tile go through its
+    // limited remote request ports (4 in MemPool); a tile whose ports are
+    // taken this cycle stalls further remote issues. Purely tile-local
+    // state, so each tile tracks its own grants.
+    let mut remote_issued = 0u32;
+    'issue: for local in 0..cell.cores.len() {
+        let index = base + local;
+        let core_id = GlobalCoreId::new(index as u32);
+        let core = &mut cell.cores[local];
+        if core.hung() {
+            // Latched up by an injected fault: burns cycles forever.
+            core.stats.halted_cycles += 1;
+            continue;
+        }
+        if core.halted() {
+            core.stats.halted_cycles += 1;
+            continue;
+        }
+        if core.consume_bubble() {
+            continue;
+        }
+        let pc = core.pc;
+        if !cell.icache.access(pc) {
+            let penalty = ctx.params.icache_miss_penalty;
+            core.insert_bubble(penalty);
+            core.stats.stall_icache += penalty as u64;
+            core.stats.icache_misses += 1;
+            cell.scratch.icache_misses += 1;
+            continue;
+        }
+        let Some(instr) = ctx.program.fetch(pc) else {
+            cell.scratch.error = Some((index as u32, SimError::PcOutOfRange { core: core_id, pc }));
+            break 'issue;
+        };
+        match core.check_issue(instr, ctx.params.max_outstanding) {
+            Err(Stall::Scoreboard) => {
+                core.stats.stall_scoreboard += 1;
+                continue;
+            }
+            Err(Stall::Structural) => {
+                core.stats.stall_structural += 1;
+                continue;
+            }
+            Ok(()) => {}
+        }
+        if let Some(addr) = mem_probe_addr(instr, &core.regs) {
+            if let MemoryRegion::Spm(loc) = ctx.storage.map().locate(addr & !3) {
+                if loc.tile != tile {
+                    if remote_issued >= ctx.config.remote_ports_per_tile() {
+                        core.stats.stall_structural += 1;
+                        continue;
+                    }
+                    remote_issued += 1;
+                }
+            }
+        }
+        core.stats.retired += 1;
+        cell.scratch.retired = true;
+        if ctx.trace_on {
+            cell.scratch.trace.push(TraceEntry {
+                cycle: now,
+                core: core_id,
+                pc,
+                instr,
+            });
+        }
+        match exec::issue(instr, pc, &mut core.regs, index as u32) {
+            Issue::Next { pc: next } => {
+                if next != pc.wrapping_add(4) && ctx.params.taken_branch_penalty > 0 {
+                    core.insert_bubble(ctx.params.taken_branch_penalty);
+                    core.stats.stall_branch += ctx.params.taken_branch_penalty as u64;
+                }
+                core.pc = next;
+            }
+            Issue::Halt => {
+                core.halt();
+                cell.scratch.halts.push(index);
+            }
+            Issue::Mem { req, next_pc } => {
+                core.pc = next_pc;
+                let width = match req.kind {
+                    MemAccessKind::Load { width, .. } | MemAccessKind::Store { width, .. } => width,
+                    MemAccessKind::Amo { .. } => MemWidth::Word,
+                };
+                let region = match ctx.storage.decode(req.addr, width) {
+                    Ok(region) => region,
+                    Err(e) => {
+                        cell.scratch.error = Some((index as u32, e.into()));
+                        break 'issue;
+                    }
+                };
+                match region {
+                    MemoryRegion::Spm(loc) => {
+                        // The destination tile's F2F via carries every
+                        // access to that tile's banks on the memory die.
+                        let mut extra_req = 0u32;
+                        match ctx.links.state(loc.tile) {
+                            LinkState::Healthy => {}
+                            LinkState::Degraded(extra) => {
+                                cell.scratch.fault_events.push(FaultNote::Retry {
+                                    tile: loc.tile,
+                                    extra,
+                                });
+                                core.insert_bubble(extra);
+                                core.stats.stall_fault_retry += extra as u64;
+                                extra_req = extra;
+                            }
+                            LinkState::Dead => match ctx.links.policy() {
+                                DeadLinkPolicy::Error => {
+                                    cell.scratch.error =
+                                        Some((index as u32, SimError::LinkDead { tile: loc.tile }));
+                                    break 'issue;
+                                }
+                                DeadLinkPolicy::BlackHole => {
+                                    // The request vanishes into the open
+                                    // via; the scoreboard entry is pinned
+                                    // forever.
+                                    cell.scratch.fault_events.push(FaultNote::BlackHole {
+                                        tile: loc.tile,
+                                        core: index as u32,
+                                    });
+                                    core.mark_pending(req.kind.response_reg());
+                                    continue;
+                                }
+                            },
+                        }
+                        let class = LatencyModel::classify(ctx.config, tile, loc.tile);
+                        core.stats
+                            .record_access(class, ctx.topo.route(tile, loc.tile).network);
+                        core.mark_pending(req.kind.response_reg());
+                        let (req_lat, resp_lat) = latency_split(&ctx.params.latency, class);
+                        let bank = loc.global_bank(ctx.config);
+                        cell.scratch.bank_pushes.push((
+                            bank.index(),
+                            PendingAccess {
+                                arrival: now + (req_lat + extra_req) as u64,
+                                core: index as u32,
+                                loc,
+                                kind: req.kind,
+                                resp_latency: resp_lat,
+                                addr: req.addr,
+                            },
+                        ));
+                    }
+                    MemoryRegion::External(_) => {
+                        // Word-granular access over the off-chip port,
+                        // serialized (and data-resolved) at commit.
+                        core.mark_pending(req.kind.response_reg());
+                        cell.scratch.externals.push(ExternalIntent {
+                            core: index as u32,
+                            addr: req.addr,
+                            kind: req.kind,
+                            width,
+                        });
+                    }
+                    MemoryRegion::Unmapped => unreachable!("decode rejects unmapped"),
+                }
+            }
+        }
+    }
+}
+
+/// Resolves one deferred off-chip access: books the port, moves the data,
+/// and queues the response.
+fn resolve_external(
+    ms: &mut MainState<'_>,
+    ph: &mut PhaseShared<'_>,
+    now: u64,
+    intent: &ExternalIntent,
+    responses: &mut Vec<Response>,
+) -> Result<(), SimError> {
+    let done = ms.offchip.schedule(now, intent.width.bytes() as u64);
+    let value = match intent.kind {
+        MemAccessKind::Load { .. } => ph.storage.read(intent.addr, intent.width)?,
+        MemAccessKind::Store { value, .. } => {
+            ph.storage.write(intent.addr, intent.width, value)?;
+            0
+        }
+        MemAccessKind::Amo { op, value, .. } => {
+            let old = ph.storage.read(intent.addr, MemWidth::Word)?;
+            ph.storage
+                .write(intent.addr, MemWidth::Word, op.apply(old, value))?;
+            old
+        }
+    };
+    responses.push(Response {
+        due: done,
+        reg: intent.kind.response_reg(),
+        value: sign_adjust(intent.kind, value),
+    });
+    Ok(())
+}
+
+/// The sequential commit phase: drains every tile's scratch in tile-index
+/// order (trace, bank pushes, off-chip accesses, fault/obs events), then
+/// reports the first error by global core order, runs the watchdog,
+/// advances the clock, and closes a sampling epoch if one is due.
+pub(crate) fn commit_tick(
+    ms: &mut MainState<'_>,
+    ph: &mut PhaseShared<'_>,
+    cells: &mut [&mut TileCell<'_>],
+) -> Result<(), SimError> {
+    let now = *ms.cycle;
+    let mut delivered = false;
+    let mut retired = false;
+    let mut first_error: Option<SimError> = None;
+    for cell in cells.iter_mut() {
+        delivered |= std::mem::take(&mut cell.scratch.delivered);
+        retired |= std::mem::take(&mut cell.scratch.retired);
+        for entry in cell.scratch.trace.drain(..) {
+            if let Some(trace) = ms.trace.as_mut() {
+                trace.record(entry);
+            }
+        }
+        for (bank, access) in cell.scratch.bank_pushes.drain(..) {
+            ms.banks[bank].queue.push(access);
+        }
+        let base = cell.tile as usize * cell.cores.len();
+        let mut tile_error: Option<SimError> = None;
+        for intent in cell.scratch.externals.drain(..) {
+            let local = intent.core as usize - base;
+            if let Err(e) = resolve_external(ms, ph, now, &intent, &mut cell.responses[local]) {
+                // Off-chip intents precede any issue-time error of this
+                // tile in global core order, so the first one wins.
+                if tile_error.is_none() {
+                    tile_error = Some(e);
+                }
+            }
+        }
+        if let Some((_, e)) = cell.scratch.error.take() {
+            if tile_error.is_none() {
+                tile_error = Some(e);
+            }
+        }
+        if first_error.is_none() {
+            first_error = tile_error;
+        }
+        for note in cell.scratch.fault_events.drain(..) {
+            match note {
+                FaultNote::Retry { tile, extra } => {
+                    if let Some(faults) = ms.faults.as_mut() {
+                        faults.record_retry(now, tile, extra as u64);
+                    }
+                    if let Some(hooks) = ms.obs {
+                        hooks.fault_retries.inc();
+                    }
+                }
+                FaultNote::BlackHole { tile, core } => {
+                    if let Some(faults) = ms.faults.as_mut() {
+                        faults.record_blackhole(now, tile, core);
+                    }
+                }
+            }
+        }
+        if cell.scratch.icache_misses > 0 {
+            if let Some(hooks) = ms.obs {
+                hooks.icache_misses.add(cell.scratch.icache_misses);
+            }
+            cell.scratch.icache_misses = 0;
+        }
+        for index in cell.scratch.halts.drain(..) {
+            if let Some(hooks) = ms.obs {
+                hooks.obs.spans.begin(hooks.core_tracks[index], "wfi", now);
+            }
+        }
+    }
+    if let Some(err) = first_error {
+        return Err(err);
+    }
+    let mut deadlock = None;
+    if let Some(watchdog) = ms.watchdog.as_mut() {
+        if delivered || retired {
+            watchdog.note_progress(now);
+        } else if watchdog.expired(now) {
+            deadlock = Some(watchdog.stalled_for(now));
+        }
+    }
+    if let Some(stalled_for) = deadlock {
+        if ms.flight_enabled {
+            if let Some(hooks) = ms.obs {
+                hooks.obs.flight.record(
+                    now,
+                    "watchdog",
+                    None,
+                    format!("expired: no forward progress for {stalled_for} cycles"),
+                );
+            }
+        }
+        return Err(SimError::Deadlock {
+            stalled_for,
+            diagnostics: core_diagnostics_from(
+                cells.iter().flat_map(|cell| cell.cores.iter()),
+                ms.trace.as_ref(),
+            ),
+        });
+    }
+    *ms.cycle += 1;
+    ph.now = *ms.cycle;
+    if ms
+        .sampler
+        .as_ref()
+        .is_some_and(|sampler| *ms.cycle >= sampler.next_at)
+    {
+        sample_epoch(ms, ph, cells);
+    }
+    Ok(())
+}
+
+/// Per-core liveness snapshots (deadlock diagnostics) built from an
+/// iterator of cores in global order.
+pub(crate) fn core_diagnostics_from<'a>(
+    cores: impl Iterator<Item = &'a Core>,
+    trace: Option<&Trace>,
+) -> Vec<CoreDiagnostic> {
+    cores
+        .enumerate()
+        .map(|(i, core)| {
+            let recent = trace
+                .map(|trace| {
+                    let lines: Vec<String> = trace
+                        .for_core(GlobalCoreId::new(i as u32))
+                        .map(TraceEntry::to_string)
+                        .collect();
+                    let keep = lines.len().saturating_sub(DIAGNOSTIC_RECENT_WINDOW);
+                    lines[keep..].to_vec()
+                })
+                .unwrap_or_default();
+            CoreDiagnostic {
+                core: i as u32,
+                pc: core.pc,
+                halted: core.halted(),
+                hung: core.hung(),
+                outstanding: core.outstanding(),
+                retired: core.stats.retired,
+                recent,
+            }
+        })
+        .collect()
+}
+
+/// Everything the time-series sampler reads at a window boundary, in one
+/// snapshot (totals, not deltas — the sampler holds the baselines).
+#[derive(Debug, Default)]
+pub(crate) struct SampleInputs {
+    pub retired_per_tile: Vec<u64>,
+    pub local_accesses: u64,
+    pub remote_accesses: u64,
+    pub conflicts: u64,
+    pub offchip_bytes: u64,
+    pub spm_touches: u64,
+    pub outstanding: u64,
+    pub backlog: u64,
+    pub peak_bytes_per_cycle: f64,
+}
+
+/// Collects a sampling snapshot from phase views (cores must come in
+/// global order).
+pub(crate) fn collect_samples<'a>(
+    cores: impl Iterator<Item = &'a Core>,
+    cores_per_tile: usize,
+    num_tiles: usize,
+    banks: &[Bank],
+    storage: &Storage,
+    offchip: &OffchipPort,
+    now: u64,
+) -> SampleInputs {
+    use mempool_arch::AccessClass;
+    let mut inputs = SampleInputs {
+        retired_per_tile: vec![0u64; num_tiles],
+        ..SampleInputs::default()
+    };
+    for (i, core) in cores.enumerate() {
+        inputs.retired_per_tile[i / cores_per_tile] += core.stats.retired;
+        inputs.local_accesses += core.stats.accesses[AccessClass::TileLocal as usize];
+        inputs.remote_accesses += core.stats.accesses[AccessClass::GroupLocal as usize]
+            + core.stats.accesses[AccessClass::Remote as usize];
+        inputs.outstanding += u64::from(core.outstanding());
+    }
+    inputs.conflicts = banks.iter().map(|b| b.stats.conflicts).sum();
+    inputs.offchip_bytes = offchip.total_bytes();
+    inputs.spm_touches = storage.spm_word_touches();
+    inputs.backlog = offchip.backlog(now);
+    inputs.peak_bytes_per_cycle = offchip.bytes_per_cycle() as f64;
+    inputs
+}
+
+/// Pushes one sample per series for the window ending at `now`, with
+/// deltas read against `sampler`'s baselines. Zero-length windows (a
+/// flush at the exact epoch start) are dropped rather than clamped — a
+/// clamped denominator of 1 would spike every rate.
+pub(crate) fn push_samples(hooks: &ClusterObs, sampler: &Sampler, now: u64, inputs: &SampleInputs) {
+    if now <= sampler.epoch_start {
+        return;
+    }
+    let series = &hooks.obs.series;
+    let elapsed = (now - sampler.epoch_start) as f64;
+    for (t, (&total, &baseline)) in inputs
+        .retired_per_tile
+        .iter()
+        .zip(sampler.retired_per_tile.iter())
+        .enumerate()
+    {
+        series.push(
+            &format!("ipc/tile{t}"),
+            now,
+            (total - baseline) as f64 / elapsed,
+        );
+    }
+    series.push(
+        "l1_local_rate",
+        now,
+        (inputs.local_accesses - sampler.local_accesses) as f64 / elapsed,
+    );
+    series.push(
+        "l1_remote_rate",
+        now,
+        (inputs.remote_accesses - sampler.remote_accesses) as f64 / elapsed,
+    );
+    series.push(
+        "bank_conflict_rate",
+        now,
+        (inputs.conflicts - sampler.conflicts) as f64 / elapsed,
+    );
+    series.push(
+        "offchip_occupancy",
+        now,
+        (inputs.offchip_bytes - sampler.offchip_bytes) as f64
+            / (elapsed * inputs.peak_bytes_per_cycle),
+    );
+    series.push("offchip_backlog", now, inputs.backlog as f64);
+    series.push("outstanding", now, inputs.outstanding as f64);
+    series.push(
+        "spm_touch_rate",
+        now,
+        (inputs.spm_touches - sampler.spm_touches) as f64 / elapsed,
+    );
+}
+
+/// Closes the current sampling epoch: pushes one sample per series and
+/// re-baselines the counters.
+fn sample_epoch(ms: &mut MainState<'_>, ph: &mut PhaseShared<'_>, cells: &[&mut TileCell<'_>]) {
+    let Some(sampler) = ms.sampler.as_mut() else {
+        return;
+    };
+    let now = *ms.cycle;
+    let inputs = collect_samples(
+        cells.iter().flat_map(|cell| cell.cores.iter()),
+        ms.config.cores_per_tile() as usize,
+        ms.config.num_tiles() as usize,
+        ms.banks,
+        ph.storage,
+        ms.offchip,
+        now,
+    );
+    if let Some(hooks) = ms.obs {
+        push_samples(hooks, sampler, now, &inputs);
+    }
+    sampler.rebaseline(inputs, now);
+}
+
+/// Runs the cluster on `threads` host threads until every core halts.
+///
+/// One `thread::scope` covers the whole run. Each tick, the main thread
+/// runs the sequential pre phase under the write side of the phase lock,
+/// releases the workers through the `start` barrier, joins them in
+/// advancing its own contiguous tile range, meets them at the `finish`
+/// barrier, and commits. Workers only ever hold the read side of the
+/// phase lock plus their own tiles' mutexes, so every lock acquisition is
+/// uncontended — the protocol, not the locks, provides exclusion.
+pub(crate) fn run_parallel(
+    cluster: &mut Cluster,
+    max_cycles: u64,
+    threads: usize,
+) -> Result<u64, SimError> {
+    let deadline = cluster.cycle + max_cycles;
+    let (mut ms, ph, mut cells_vec) = split(cluster);
+    // Copies of the immutable context, shareable with the workers.
+    let (config, topo, params, program) = (ms.config, ms.topo, ms.params, ms.program);
+    let trace_on = ms.trace.is_some();
+    let num_tiles = cells_vec.len();
+    let cells: Vec<Mutex<&mut TileCell<'_>>> = cells_vec.iter_mut().map(Mutex::new).collect();
+    let shared = RwLock::new(ph);
+    let stop = AtomicBool::new(false);
+    let start = Barrier::new(threads);
+    let finish = Barrier::new(threads);
+    // Contiguous tile ranges, one per thread; range 0 belongs to the main
+    // thread.
+    let chunk = num_tiles / threads;
+    let rem = num_tiles % threads;
+    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(threads);
+    let mut next = 0usize;
+    for w in 0..threads {
+        let len = chunk + usize::from(w < rem);
+        ranges.push(next..next + len);
+        next += len;
+    }
+    std::thread::scope(|scope| {
+        for range in ranges.iter().skip(1) {
+            let (cells, shared, start, finish, stop) = (&cells, &shared, &start, &finish, &stop);
+            scope.spawn(move || loop {
+                start.wait();
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                {
+                    let ph = shared.read().expect("phase lock");
+                    let ctx = LocalCtx {
+                        config,
+                        topo,
+                        params,
+                        program,
+                        storage: &*ph.storage,
+                        links: &*ph.links,
+                        trace_on,
+                        now: ph.now,
+                    };
+                    for tile in range.clone() {
+                        let mut cell = cells[tile].lock().expect("tile lock");
+                        local_tile(&ctx, &mut cell);
+                    }
+                }
+                finish.wait();
+            });
+        }
+        let my_range = ranges[0].clone();
+        let result = loop {
+            // Sequential window: quiescence/deadline checks + pre phase.
+            {
+                let mut ph = shared.write().expect("phase lock");
+                let mut guards: Vec<_> = cells
+                    .iter()
+                    .map(|cell| cell.lock().expect("tile lock"))
+                    .collect();
+                let mut views: Vec<&mut TileCell<'_>> =
+                    guards.iter_mut().map(|guard| &mut ***guard).collect();
+                if tick_quiescent(ms.banks, &views) {
+                    break Ok(*ms.cycle);
+                }
+                if *ms.cycle >= deadline {
+                    break Err(SimError::Timeout { cycles: max_cycles });
+                }
+                if let Err(e) = pre_tick(&mut ms, &mut ph, &mut views) {
+                    break Err(e);
+                }
+            }
+            // Local phase: all threads, disjoint tile ranges.
+            start.wait();
+            {
+                let ph = shared.read().expect("phase lock");
+                let ctx = LocalCtx {
+                    config,
+                    topo,
+                    params,
+                    program,
+                    storage: &*ph.storage,
+                    links: &*ph.links,
+                    trace_on,
+                    now: ph.now,
+                };
+                for tile in my_range.clone() {
+                    let mut cell = cells[tile].lock().expect("tile lock");
+                    local_tile(&ctx, &mut cell);
+                }
+            }
+            finish.wait();
+            // Sequential window: commit.
+            {
+                let mut ph = shared.write().expect("phase lock");
+                let mut guards: Vec<_> = cells
+                    .iter()
+                    .map(|cell| cell.lock().expect("tile lock"))
+                    .collect();
+                let mut views: Vec<&mut TileCell<'_>> =
+                    guards.iter_mut().map(|guard| &mut ***guard).collect();
+                if let Err(e) = commit_tick(&mut ms, &mut ph, &mut views) {
+                    break Err(e);
+                }
+            }
+        };
+        // Release the workers for their shutdown check.
+        stop.store(true, Ordering::Release);
+        start.wait();
+        result
+    })
+}

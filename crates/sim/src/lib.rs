@@ -54,6 +54,7 @@
 
 pub mod cluster;
 pub mod core;
+pub(crate) mod engine;
 pub mod icache;
 pub mod memory;
 pub mod offchip;
@@ -63,6 +64,6 @@ pub mod trace;
 
 pub use cluster::{Cluster, SimError};
 pub use offchip::OffchipPort;
-pub use params::SimParams;
+pub use params::{default_threads, set_default_threads, SimParams};
 pub use stats::{BankStats, ClusterStats, CoreStats};
 pub use trace::{Trace, TraceEntry};

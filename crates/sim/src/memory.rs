@@ -1,8 +1,8 @@
 //! Backing storage for the SPM banks and the external (off-chip) memory.
 
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mempool_arch::{
     AddressMap, BankId, BankLocation, ClusterConfig, MemoryRegion, RemapError, TileId,
@@ -45,7 +45,7 @@ impl std::error::Error for MemoryError {}
 ///
 /// Sub-word accesses are performed as read-modify-write on the containing
 /// word; this is safe because the owning bank serializes accesses.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Storage {
     /// Flat bank storage: `global_bank * bank_words + word`.
     spm: Vec<u32>,
@@ -61,7 +61,27 @@ pub struct Storage {
     external: HashMap<u64, u32>,
     /// SPM words read or written so far (core accesses and DMA word
     /// traffic alike) — the time-series sampler reads this per epoch.
-    touches: Cell<u64>,
+    /// Atomic (not `Cell`) so `&Storage` is `Sync` and the phased-tick
+    /// engine can share read-only storage views across host threads; all
+    /// mutating accesses stay confined to the sequential barrier phase, so
+    /// the count remains deterministic.
+    touches: AtomicU64,
+}
+
+impl Clone for Storage {
+    fn clone(&self) -> Self {
+        Storage {
+            spm: self.spm.clone(),
+            bank_words: self.bank_words,
+            banks_per_tile: self.banks_per_tile,
+            map: self.map.clone(),
+            spare: self.spare.clone(),
+            spares_per_tile: self.spares_per_tile,
+            num_tiles: self.num_tiles,
+            external: self.external.clone(),
+            touches: AtomicU64::new(self.spm_word_touches()),
+        }
+    }
 }
 
 /// Which physical array a resolved location lands in.
@@ -82,7 +102,7 @@ impl Storage {
             spares_per_tile: 0,
             num_tiles: cfg.num_tiles(),
             external: HashMap::new(),
-            touches: Cell::new(0),
+            touches: AtomicU64::new(0),
         }
     }
 
@@ -90,7 +110,7 @@ impl Storage {
     /// every resolved [`Self::read_loc`]/[`Self::write_loc`] — core
     /// accesses, DMA word loops, and debug reads alike.
     pub fn spm_word_touches(&self) -> u64 {
-        self.touches.get()
+        self.touches.load(Ordering::Relaxed)
     }
 
     /// The address map used to decode accesses.
@@ -183,7 +203,7 @@ impl Storage {
             Slot::Main(index) => self.spm[index],
             Slot::Spare(index) => self.spare[index],
         };
-        self.touches.set(self.touches.get() + 1);
+        self.touches.fetch_add(1, Ordering::Relaxed);
         Ok(value)
     }
 
@@ -198,7 +218,7 @@ impl Storage {
             Slot::Main(index) => self.spm[index] = value,
             Slot::Spare(index) => self.spare[index] = value,
         }
-        self.touches.set(self.touches.get() + 1);
+        self.touches.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 

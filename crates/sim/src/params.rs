@@ -1,6 +1,25 @@
 //! Simulation timing parameters.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use mempool_arch::LatencyModel;
+
+/// Process-wide default for [`SimParams::threads`], consulted by
+/// [`SimParams::default`]. `repro --threads N` sets this once at startup so
+/// every cluster constructed through default parameters inherits it.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default host-thread count picked up by
+/// [`SimParams::default`]. Zero is clamped to 1 (sequential).
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default host-thread count (see
+/// [`set_default_threads`]).
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed)
+}
 
 /// Timing parameters of the cluster simulator.
 ///
@@ -46,6 +65,12 @@ pub struct SimParams {
     /// a single-bit error on a bank read — only observable in
     /// fault-injection runs.
     pub ecc_correction_penalty: u32,
+    /// Host threads driving the phased-tick engine. `1` (the default) runs
+    /// the purely sequential engine; `N > 1` advances tile-local state on
+    /// `N` host threads with a deterministic commit barrier, producing
+    /// bit-identical results. Purely a host-side knob: it never changes
+    /// simulated timing.
+    pub threads: usize,
 }
 
 impl SimParams {
@@ -71,6 +96,7 @@ impl Default for SimParams {
             offchip_bytes_per_cycle: 16,
             offchip_latency: 30,
             ecc_correction_penalty: 3,
+            threads: default_threads(),
         }
     }
 }
@@ -84,6 +110,14 @@ mod tests {
         let p = SimParams::default();
         assert_eq!(p.latency, LatencyModel::PAPER);
         assert_eq!(p.offchip_bytes_per_cycle, 16);
+    }
+
+    #[test]
+    fn default_threads_is_sequential() {
+        // NOTE: other tests in the process must not call
+        // `set_default_threads`; tests that need a thread count set
+        // `SimParams.threads` directly.
+        assert_eq!(SimParams::default().threads, 1);
     }
 
     #[test]

@@ -195,6 +195,52 @@ impl ClusterStats {
             .collect();
         AttributionReport::new(self.cycles, &cores, cores_per_tile, &banks, banks_per_tile)
     }
+
+    /// A 64-bit FNV-1a digest over every counter in the report, in a fixed
+    /// field order. Two runs with equal digests saw the same cycles, the
+    /// same per-core retirement and stall breakdowns, the same per-bank
+    /// service counts, and the same DMA totals — the cross-engine
+    /// equivalence suite uses it to compare sequential and parallel runs
+    /// with one number.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.cycles);
+        mix(self.cores.len() as u64);
+        for c in &self.cores {
+            mix(c.retired);
+            mix(c.stall_scoreboard);
+            mix(c.stall_structural);
+            mix(c.stall_icache);
+            mix(c.icache_misses);
+            mix(c.stall_branch);
+            mix(c.stall_fault_retry);
+            mix(c.stall_ecc);
+            mix(c.halted_cycles);
+            for a in c.accesses {
+                mix(a);
+            }
+            for n in c.network_accesses {
+                mix(n);
+            }
+        }
+        mix(self.banks.len() as u64);
+        for b in &self.banks {
+            mix(b.served);
+            mix(b.conflicts);
+            mix(b.max_queue_depth);
+        }
+        mix(self.dma_bytes);
+        mix(self.dma_cycles);
+        hash
+    }
 }
 
 impl fmt::Display for ClusterStats {
@@ -248,6 +294,22 @@ mod tests {
         assert_eq!(stats.total_conflicts(), 3);
         assert_eq!(stats.max_bank_queue_depth(), 5);
         assert_eq!(stats.accesses_by_class(), [12, 5, 1]);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut stats = ClusterStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        stats.cores.push(CoreStats {
+            retired: 50,
+            ..Default::default()
+        });
+        let a = stats.digest();
+        assert_eq!(a, stats.clone().digest(), "digest must be deterministic");
+        stats.cores[0].stall_branch += 1;
+        assert_ne!(a, stats.digest(), "digest must see every counter");
     }
 
     #[test]

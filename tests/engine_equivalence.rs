@@ -1,0 +1,228 @@
+//! Cross-engine equivalence: the phased-tick parallel engine must be
+//! **bit-identical** to the sequential engine at every thread count.
+//!
+//! `SimParams::threads` is a pure host-side knob — it chooses how many
+//! host threads advance tile-local state between the deterministic
+//! commit barriers, and nothing else. These tests pin that contract:
+//! every kernel in the characterization zoo, a seed-42 fault-injected
+//! degraded run, the sampled time series, the cycle-attribution report,
+//! the pinned benchmark summary, and even the exact `SimError` raised by
+//! a watchdog-detected deadlock must not change when the engine goes
+//! parallel.
+
+use mempool_arch::{ClusterConfig, TileId};
+use mempool_fault::{DeadLinkPolicy, FaultConfig, FaultEvent, FaultPlan};
+use mempool_isa::Program;
+use mempool_kernels::axpy::Axpy;
+use mempool_kernels::dotprod::DotProduct;
+use mempool_kernels::matmul::ComputePhase;
+use mempool_kernels::transpose::Transpose;
+use mempool_kernels::Kernel;
+use mempool_obs::{Json, Obs};
+use mempool_sim::{Cluster, ClusterStats, SimError, SimParams};
+
+/// Thread counts exercised against the sequential reference. Eight
+/// threads oversubscribes the four-tile clusters below (the engine clamps
+/// to one thread per tile), which is itself worth covering.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The pinned fault seed, matching the committed baseline scenario.
+const FAULT_SEED: u64 = 42;
+
+fn zoo_config() -> ClusterConfig {
+    ClusterConfig::builder()
+        .groups(1)
+        .tiles_per_group(4)
+        .cores_per_tile(4)
+        .banks_per_tile(16)
+        .bank_words(256)
+        .build()
+        .unwrap()
+}
+
+fn params(threads: usize) -> SimParams {
+    SimParams {
+        threads,
+        ..SimParams::default()
+    }
+}
+
+/// Everything one run observes, in directly comparable form.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    cycles: u64,
+    stats: ClusterStats,
+    digest: u64,
+    attribution: String,
+    timeseries: String,
+    fault_report: Option<String>,
+}
+
+/// Runs `kernel` once at the given thread count, with optional fault
+/// injection, and captures every comparable output.
+fn observe(
+    kernel: &dyn Kernel,
+    threads: usize,
+    plan: Option<&FaultPlan>,
+    watchdog: Option<u64>,
+) -> Observed {
+    let cfg = zoo_config();
+    let obs = Obs::new();
+    let mut cluster = Cluster::new(cfg.clone(), params(threads));
+    cluster.attach_obs(&obs, "equivalence");
+    cluster.enable_timeseries(256);
+    if let Some(plan) = plan {
+        cluster.inject_faults(plan).unwrap();
+    }
+    if let Some(threshold) = watchdog {
+        cluster.set_watchdog(threshold);
+    }
+    let cycles = kernel
+        .run(&mut cluster, 10_000_000)
+        .unwrap_or_else(|e| panic!("{} at {threads} threads: {e}", kernel.name()));
+    let stats = cluster.stats();
+    let attribution = stats
+        .attribution(cfg.cores_per_tile(), cfg.banks_per_tile())
+        .to_json()
+        .to_pretty();
+    Observed {
+        cycles,
+        digest: stats.digest(),
+        attribution,
+        timeseries: obs.series.to_json().to_pretty(),
+        fault_report: cluster.fault_report().map(|r| r.to_json().to_pretty()),
+        stats,
+    }
+}
+
+fn zoo() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(Axpy::new(1024, 3)),
+        Box::new(DotProduct::new(1024)),
+        Box::new(ComputePhase::new(32)),
+        Box::new(Transpose::new(64)),
+    ]
+}
+
+#[test]
+fn every_zoo_kernel_is_bit_identical_at_every_thread_count() {
+    for kernel in zoo() {
+        let reference = observe(kernel.as_ref(), 1, None, None);
+        assert!(reference.cycles > 0, "{}", kernel.name());
+        for threads in THREAD_COUNTS {
+            let candidate = observe(kernel.as_ref(), threads, None, None);
+            assert_eq!(
+                reference,
+                candidate,
+                "{} diverged at {threads} threads",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn seed42_fault_injected_run_is_bit_identical_at_every_thread_count() {
+    // A rate high enough that retries, ECC corrections, and link
+    // degradation all actually fire on this small cluster.
+    let fault_cfg = FaultConfig::new(FAULT_SEED, 1e-4).with_horizon(50_000);
+    let plan = FaultPlan::generate(&fault_cfg, &zoo_config());
+    let kernel = ComputePhase::new(32);
+    let reference = observe(&kernel, 1, Some(&plan), Some(2_000_000));
+    let report = reference
+        .fault_report
+        .as_deref()
+        .expect("a fault-injected run carries a report");
+    assert!(
+        report.contains("\"injected\""),
+        "report should summarize injections: {report}"
+    );
+    for threads in THREAD_COUNTS {
+        let candidate = observe(&kernel, threads, Some(&plan), Some(2_000_000));
+        assert_eq!(
+            reference, candidate,
+            "degraded run diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn watchdog_deadlock_raises_the_identical_error_at_every_thread_count() {
+    // Core 0 waits forever on a load swallowed by a black-holing dead
+    // link; the watchdog must fire on the same cycle with the same
+    // per-core diagnostics regardless of engine.
+    let run_once = |threads: usize| -> SimError {
+        let cfg = zoo_config();
+        let remote = {
+            let probe = Cluster::new(cfg.clone(), params(1));
+            probe.storage().map().seq_addr(TileId(1), 0)
+        };
+        let mut cluster = Cluster::new(cfg, params(threads));
+        let mut plan = FaultPlan::new(5).with_dead_link_policy(DeadLinkPolicy::BlackHole);
+        plan.push(FaultEvent::LinkDead { tile: TileId(1) });
+        cluster.inject_faults(&plan).unwrap();
+        cluster.set_watchdog(64);
+        cluster.load_program(
+            Program::assemble(&format!(
+                r#"
+                    csrr t1, mhartid
+                    bnez t1, done
+                    li   t0, {remote}
+                    lw   a0, 0(t0)
+                    add  a1, a0, a0
+                done:
+                    wfi
+                "#
+            ))
+            .unwrap(),
+        );
+        cluster.preload_icaches();
+        cluster.run(100_000).unwrap_err()
+    };
+    let reference = run_once(1);
+    let SimError::Deadlock { diagnostics, .. } = &reference else {
+        panic!("expected a deadlock, got {reference}");
+    };
+    assert_eq!(diagnostics.len(), 16);
+    assert_eq!(diagnostics[0].condition(), "waiting-on-memory");
+    for threads in THREAD_COUNTS {
+        assert_eq!(
+            reference,
+            run_once(threads),
+            "deadlock error diverged at {threads} threads"
+        );
+    }
+}
+
+/// Removes the `perf` section (live wall-clock throughput, never
+/// identical between two runs) from a benchmark summary.
+fn strip_perf(doc: &Json) -> Json {
+    match doc {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .filter(|(key, _)| key != "perf")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn bench_summary_is_bit_identical_across_engines() {
+    // `bench_summary()` builds its clusters through `SimParams::default`,
+    // which reads the process-wide default thread count — the same path
+    // `repro --threads N` uses. Every other test in this binary sets
+    // `SimParams::threads` explicitly, so flipping the global here is
+    // safe even under the parallel test runner.
+    mempool_sim::set_default_threads(1);
+    let sequential = strip_perf(&mempool_bench::bench_summary()).to_pretty();
+    mempool_sim::set_default_threads(4);
+    let parallel = strip_perf(&mempool_bench::bench_summary()).to_pretty();
+    mempool_sim::set_default_threads(1);
+    assert_eq!(
+        sequential, parallel,
+        "the pinned summary must not depend on the engine"
+    );
+}
