@@ -30,12 +30,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mempool::dse::DesignSpace;
 use mempool::experiments::{
     ablations, Claims, ClusterLevel, Evaluation, Fig6, Fig7, Fig8, Fig9, Resilience, Table1, Table2,
 };
 use mempool_arch::SpmCapacity;
-use mempool_bench::regress;
+use mempool_bench::{args, regress};
 use mempool_kernels::matmul::PhaseModel;
 use mempool_kernels::measure;
 use mempool_kernels::resilience::DegradedObs;
@@ -69,6 +68,10 @@ fn usage() -> ExitCode {
          \x20            [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]...\n\
          \x20      repro diff BASELINE.json CANDIDATE.json\n\
          \x20      repro check --baseline PATH [--bless]\n\
+         \x20      repro serve [--listen HOST:PORT] [--workers N] [--max-queue N]\n\
+         \x20                  [--cache-dir DIR] [--flight N]\n\
+         \x20      repro submit --connect HOST:PORT [--threads N] [--artifacts DIR]\n\
+         \x20                  [table1|table2|fig6|fig7|fig8|fig9|dse|sweep:BW|kernel:P|stats|shutdown]...\n\
          \n\
          --measure            re-measure workload constants on the simulator\n\
          --artifacts DIR      write JSON/CSV artifacts (figure data, metrics,\n\
@@ -94,7 +97,17 @@ fn usage() -> ExitCode {
                               exit 1 on regression, 2 on usage/parse errors\n\
          check                regenerate the pinned summary and compare it to\n\
                               --baseline PATH (same exit codes); --bless\n\
-                              rewrites the baseline instead"
+                              rewrites the baseline instead\n\
+         serve                run the experiment service daemon: a bounded\n\
+                              worker pool behind a newline-delimited JSON TCP\n\
+                              protocol with request coalescing and a\n\
+                              content-addressed result cache (send\n\
+                              {{\"kind\": \"shutdown\"}} to drain and stop)\n\
+         submit               issue experiment requests to a running daemon;\n\
+                              artifacts are byte-identical to the one-shot\n\
+                              documents, `dse` runs the exploration as a batch\n\
+                              of cached service requests, and stats/shutdown\n\
+                              are admin requests"
     );
     ExitCode::from(EXIT_ERROR)
 }
@@ -116,30 +129,18 @@ struct Options {
 }
 
 /// Parses `SEED[:RATE]`. Both parts are validated strictly: a non-numeric
-/// seed or rate is a usage error, not a panic or a silent default.
+/// seed or rate is a usage error, not a panic or a silent default. A zero
+/// rate would "inject faults" that never fire — almost certainly a typo
+/// for a real rate, so it is rejected rather than silently measuring a
+/// clean run as degraded.
 fn parse_faults(value: &str) -> Result<(u64, f64), String> {
     let (seed_text, rate_text) = match value.split_once(':') {
         Some((seed, rate)) => (seed, Some(rate)),
         None => (value, None),
     };
-    let seed: u64 = seed_text
-        .parse()
-        .map_err(|_| format!("--faults: seed must be an unsigned integer, got {seed_text:?}"))?;
+    let seed = args::parse_u64("--faults", "seed", seed_text)?;
     let rate = match rate_text {
-        Some(text) => {
-            let rate: f64 = text
-                .parse()
-                .map_err(|_| format!("--faults: rate must be a number, got {text:?}"))?;
-            // A zero rate would "inject faults" that never fire — almost
-            // certainly a typo for a real rate, so it is rejected rather
-            // than silently measuring a clean run as degraded.
-            if !rate.is_finite() || rate <= 0.0 {
-                return Err(format!(
-                    "--faults: rate must be finite and positive, got {text}"
-                ));
-            }
-            rate
-        }
+        Some(text) => args::parse_positive_f64("--faults", "rate", text)?,
         None => DEFAULT_FAULT_RATE,
     };
     Ok((seed, rate))
@@ -161,63 +162,36 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--measure" => measure = true,
-            "--artifacts" => match it.next() {
-                // A following `--flag` is a missing argument, not a
-                // directory name — otherwise `--artifacts --measure`
-                // silently drops the measure flag.
-                Some(dir) if !dir.starts_with("--") => artifacts = Some(dir.clone()),
-                _ => return Err("--artifacts requires a directory argument".to_string()),
-            },
-            "--faults" => match it.next() {
-                Some(value) if !value.starts_with("--") => {
-                    faults = Some(parse_faults(value)?);
-                }
-                _ => return Err("--faults requires a SEED[:RATE] argument".to_string()),
-            },
-            "--watchdog" => match it.next() {
-                Some(value) if !value.starts_with("--") => {
-                    watchdog = Some(value.parse::<u64>().map_err(|_| {
-                        format!("--watchdog: threshold must be an unsigned integer, got {value:?}")
-                    })?);
-                }
-                _ => return Err("--watchdog requires a cycle-count argument".to_string()),
-            },
-            "--timeseries" => match it.next() {
-                Some(value) if !value.starts_with("--") => {
-                    let window = value.parse::<u64>().map_err(|_| {
-                        format!("--timeseries: window must be an unsigned integer, got {value:?}")
-                    })?;
-                    if window == 0 {
-                        return Err("--timeseries: window must be nonzero".to_string());
-                    }
-                    timeseries = Some(window);
-                }
-                _ => return Err("--timeseries requires a cycle-window argument".to_string()),
-            },
-            "--flight" => match it.next() {
-                Some(value) if !value.starts_with("--") => {
-                    let capacity = value.parse::<usize>().map_err(|_| {
-                        format!("--flight: capacity must be an unsigned integer, got {value:?}")
-                    })?;
-                    if capacity == 0 {
-                        return Err("--flight: capacity must be nonzero".to_string());
-                    }
-                    flight = Some(capacity);
-                }
-                _ => return Err("--flight requires an event-count argument".to_string()),
-            },
-            "--threads" => match it.next() {
-                Some(value) if !value.starts_with("--") => {
-                    let count = value.parse::<usize>().map_err(|_| {
-                        format!("--threads: count must be an unsigned integer, got {value:?}")
-                    })?;
-                    if count == 0 {
-                        return Err("--threads: count must be nonzero (1 = sequential)".to_string());
-                    }
-                    threads = count;
-                }
-                _ => return Err("--threads requires a thread-count argument".to_string()),
-            },
+            // `args::flag_value` enforces that a following `--flag` is a
+            // missing argument, not a value — otherwise `--artifacts
+            // --measure` would silently drop the measure flag.
+            "--artifacts" => {
+                artifacts =
+                    Some(args::flag_value(&mut it, "--artifacts", "a directory")?.to_string());
+            }
+            "--faults" => {
+                faults = Some(parse_faults(args::flag_value(
+                    &mut it,
+                    "--faults",
+                    "a SEED[:RATE]",
+                )?)?);
+            }
+            "--watchdog" => {
+                let value = args::flag_value(&mut it, "--watchdog", "a cycle-count")?;
+                watchdog = Some(args::parse_u64("--watchdog", "threshold", value)?);
+            }
+            "--timeseries" => {
+                let value = args::flag_value(&mut it, "--timeseries", "a cycle-window")?;
+                timeseries = Some(args::parse_nonzero_u64("--timeseries", "window", value)?);
+            }
+            "--flight" => {
+                let value = args::flag_value(&mut it, "--flight", "an event-count")?;
+                flight = Some(args::parse_nonzero_usize("--flight", "capacity", value)?);
+            }
+            "--threads" => {
+                let value = args::flag_value(&mut it, "--threads", "a thread-count")?;
+                threads = args::parse_nonzero_usize("--threads", "count", value)?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}"));
             }
@@ -281,10 +255,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--baseline" => match it.next() {
-                Some(path) if !path.starts_with("--") => baseline_path = Some(path.clone()),
-                _ => {
-                    eprintln!("repro check: --baseline requires a file argument");
+            "--baseline" => match args::flag_value(&mut it, "--baseline", "a file") {
+                Ok(path) => baseline_path = Some(path.to_string()),
+                Err(msg) => {
+                    eprintln!("repro check: {msg}");
                     return usage();
                 }
             },
@@ -335,6 +309,254 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro serve ...` — runs the experiment-service daemon until a client
+/// sends a shutdown request, then prints the final stats document.
+fn parse_serve_args(argv: &[String]) -> Result<(String, mempool_serve::ServiceConfig), String> {
+    let mut listen = "127.0.0.1:7070".to_string();
+    let mut config = mempool_serve::ServiceConfig::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => {
+                let value = args::flag_value(&mut it, "--listen", "a HOST:PORT")?;
+                listen = args::parse_socket_addr("--listen", value)?;
+            }
+            "--workers" => {
+                let value = args::flag_value(&mut it, "--workers", "a worker-count")?;
+                config.workers = args::parse_nonzero_usize("--workers", "count", value)?;
+            }
+            "--max-queue" => {
+                let value = args::flag_value(&mut it, "--max-queue", "a queue-bound")?;
+                config.max_queue = args::parse_nonzero_usize("--max-queue", "bound", value)?;
+            }
+            "--cache-dir" => {
+                let value = args::flag_value(&mut it, "--cache-dir", "a directory")?;
+                config.cache_dir = Some(value.into());
+            }
+            "--flight" => {
+                let value = args::flag_value(&mut it, "--flight", "an event-count")?;
+                config.flight_capacity = args::parse_nonzero_usize("--flight", "capacity", value)?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok((listen, config))
+}
+
+fn cmd_serve(argv: &[String]) -> ExitCode {
+    use mempool_serve::TcpServer;
+
+    let (listen, config) = match parse_serve_args(argv) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("repro serve: {msg}");
+            return usage();
+        }
+    };
+    let server = match TcpServer::bind(&listen, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("repro serve: {e}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("repro serve: listening on {addr}"),
+        Err(e) => eprintln!("repro serve: {e}"),
+    }
+    match server.run() {
+        Ok(stats) => {
+            println!("{}", stats.to_pretty());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro serve: {e}");
+            ExitCode::from(EXIT_ERROR)
+        }
+    }
+}
+
+/// One parsed `repro submit` work item.
+enum SubmitItem {
+    Experiment(mempool_serve::ExperimentKind),
+    Dse,
+    Stats,
+    Shutdown,
+}
+
+/// Parses a submit target token (`fig6`, `sweep:16`, `kernel:32`, ...).
+fn parse_submit_item(token: &str) -> Result<SubmitItem, String> {
+    use mempool_serve::ExperimentKind;
+    let kind = match token {
+        "table1" => ExperimentKind::Table1,
+        "table2" => ExperimentKind::Table2,
+        "fig6" => ExperimentKind::Fig6,
+        "fig7" => ExperimentKind::Fig7,
+        "fig8" => ExperimentKind::Fig8,
+        "fig9" => ExperimentKind::Fig9,
+        "dse" => return Ok(SubmitItem::Dse),
+        "stats" => return Ok(SubmitItem::Stats),
+        "shutdown" => return Ok(SubmitItem::Shutdown),
+        other => match other.split_once(':') {
+            Some(("sweep", bw)) => ExperimentKind::Sweep {
+                bytes_per_cycle: args::parse_nonzero_u64("sweep", "bandwidth", bw)?
+                    .try_into()
+                    .map_err(|_| format!("sweep: bandwidth out of range: {bw}"))?,
+            },
+            Some(("kernel", p)) => ExperimentKind::Kernel {
+                p: args::parse_nonzero_u64("kernel", "dimension", p)?
+                    .try_into()
+                    .map_err(|_| format!("kernel: dimension out of range: {p}"))?,
+            },
+            _ => return Err(format!("unknown submit target: {token}")),
+        },
+    };
+    Ok(SubmitItem::Experiment(kind))
+}
+
+/// `repro submit --connect HOST:PORT TARGET...` — issues requests to a
+/// running daemon and prints each artifact.
+/// Parsed `repro submit` command line.
+struct SubmitOptions {
+    connect: String,
+    threads: usize,
+    artifacts_dir: Option<String>,
+    items: Vec<(String, SubmitItem)>,
+}
+
+fn parse_submit_args(argv: &[String]) -> Result<SubmitOptions, String> {
+    let mut connect: Option<String> = None;
+    let mut threads = 1usize;
+    let mut artifacts_dir: Option<String> = None;
+    let mut items: Vec<(String, SubmitItem)> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => {
+                let value = args::flag_value(&mut it, "--connect", "a HOST:PORT")?;
+                connect = Some(args::parse_socket_addr("--connect", value)?);
+            }
+            "--threads" => {
+                let value = args::flag_value(&mut it, "--threads", "a thread-count")?;
+                threads = args::parse_nonzero_usize("--threads", "count", value)?;
+            }
+            "--artifacts" => {
+                artifacts_dir =
+                    Some(args::flag_value(&mut it, "--artifacts", "a directory")?.to_string());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
+            token => items.push((token.to_string(), parse_submit_item(token)?)),
+        }
+    }
+    let Some(connect) = connect else {
+        return Err("--connect HOST:PORT is required".to_string());
+    };
+    if items.is_empty() {
+        return Err("no targets given".to_string());
+    }
+    Ok(SubmitOptions {
+        connect,
+        threads,
+        artifacts_dir,
+        items,
+    })
+}
+
+fn cmd_submit(argv: &[String]) -> ExitCode {
+    use mempool_serve::{dse, ExperimentRequest, TcpClient};
+
+    let SubmitOptions {
+        connect,
+        threads,
+        artifacts_dir,
+        items,
+    } = match parse_submit_args(argv) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("repro submit: {msg}");
+            return usage();
+        }
+    };
+    let mut client = match TcpClient::connect(&connect) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("repro submit: cannot connect to {connect}: {e}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    let mut artifacts = match &artifacts_dir {
+        Some(dir) => match ArtifactDir::create(dir) {
+            Ok(art) => Some(art),
+            Err(e) => {
+                eprintln!("repro submit: cannot create artifact directory {dir}: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        },
+        None => None,
+    };
+    for (token, item) in items {
+        let result: Result<(), String> = match item {
+            SubmitItem::Experiment(kind) => {
+                let req = ExperimentRequest {
+                    threads,
+                    ..ExperimentRequest::new(kind)
+                };
+                match client.request(&req) {
+                    Ok(outcome) => {
+                        eprintln!("repro submit: {token}: {}", outcome.cache);
+                        println!("{}", outcome.artifact.to_pretty());
+                        match artifacts.as_mut() {
+                            Some(art) => art
+                                .write_json(&format!("{}.json", req.kind.tag()), &outcome.artifact)
+                                .map(|_| ())
+                                .map_err(|e| format!("writing artifact: {e}")),
+                            None => Ok(()),
+                        }
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            SubmitItem::Dse => {
+                match dse::explore_via_tcp(&mut client, &PhaseModel::with_measured_defaults()) {
+                    Ok(space) => {
+                        println!("{}", space.to_text());
+                        Ok(())
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            SubmitItem::Stats => match client.stats() {
+                Ok(stats) => {
+                    println!("{}", stats.to_pretty());
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
+            },
+            SubmitItem::Shutdown => match client.shutdown() {
+                Ok(()) => {
+                    eprintln!("repro submit: daemon is draining");
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
+            },
+        };
+        if let Err(msg) = result {
+            eprintln!("repro submit: {token}: {msg}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    }
+    if let Some(art) = &artifacts {
+        if !art.written().is_empty() {
+            eprintln!(
+                "artifacts written to {}: {}",
+                art.root().display(),
+                art.written().join(", ")
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn model_json(model: &PhaseModel) -> Json {
     Json::obj([
         ("m", Json::Int(model.m as i64)),
@@ -344,12 +566,29 @@ fn model_json(model: &PhaseModel) -> Json {
     ])
 }
 
+/// Runs the design-space exploration as a batch client of an in-process
+/// `mempool-serve` worker pool: all eight design points are submitted
+/// concurrently, computed (or served from cache) by the pool, and
+/// reassembled in canonical order. The result is bit-identical to the
+/// direct `DesignSpace::explore` path — the serve integration tests pin
+/// that equality — so the printed report does not change shape.
+fn dse_via_service(model: &PhaseModel) -> Result<String, String> {
+    let service = mempool_serve::Service::start(mempool_serve::ServiceConfig::default())
+        .map_err(|e| format!("starting the in-process service: {e}"))?;
+    let space =
+        mempool_serve::dse::explore_via(&service.client(), model).map_err(|e| e.to_string())?;
+    service.shutdown();
+    Ok(space.to_text())
+}
+
 fn main() -> ExitCode {
     let wall_start = Instant::now();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("diff") => return cmd_diff(&args[1..]),
         Some("check") => return cmd_check(&args[1..]),
+        Some("serve") => return cmd_serve(&args[1..]),
+        Some("submit") => return cmd_submit(&args[1..]),
         _ => {}
     }
     let opts = match parse_args(&args) {
@@ -486,8 +725,20 @@ fn main() -> ExitCode {
         if want("claims") && !emit("claims", Claims::from_evaluation(eval).to_text(), None) {
             return ExitCode::FAILURE;
         }
-        if want("dse") && !emit("dse", DesignSpace::explore(eval).to_text(), None) {
-            return ExitCode::FAILURE;
+        if want("dse") {
+            // The exploration runs as a batch client of an in-process
+            // mempool-serve pool, so the one-shot CLI exercises the same
+            // submit/coalesce/cache path the daemon serves over TCP.
+            let text = match dse_via_service(&model) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("repro: dse exploration through the service failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if !emit("dse", text, None) {
+                return ExitCode::FAILURE;
+            }
         }
     }
     if want("area") {

@@ -12,6 +12,7 @@
 //! * `performance_sweep` — Figures 7-9 (the combined evaluation);
 //! * `simulator` — raw simulator throughput on the kernel zoo.
 
+pub mod args;
 pub mod regress;
 
 /// The pinned fault seed the regression baseline is generated with.
@@ -165,6 +166,96 @@ fn throughput_probe() -> mempool_obs::Json {
             "parallel_speedup",
             Json::Float(parallel / sequential.max(1e-9)),
         ),
+        ("serve", serve_probe()),
+    ])
+}
+
+/// Bandwidth points (bytes per cycle) of the serve probe's request mix.
+/// Each is one `sweep` experiment; the cold pass computes all of them,
+/// the warm pass replays the full mix from every client as cache hits.
+const SERVE_PROBE_BANDWIDTHS: [u32; 8] = [2, 4, 6, 8, 12, 16, 24, 32];
+
+/// Concurrent clients (and service workers) in the warm replay pass.
+const SERVE_PROBE_CLIENTS: usize = 4;
+
+/// Times a deterministic request mix against an in-process
+/// `mempool-serve` pool: a cold pass submitting each of the
+/// [`SERVE_PROBE_BANDWIDTHS`] sweep configs once (all fanned out
+/// concurrently, so the pool computes them in parallel), then a warm pass
+/// where [`SERVE_PROBE_CLIENTS`] client threads each replay the full mix.
+/// The mix is fixed, so the counters are pinned: `computed` equals the
+/// number of unique configs, every warm request is a cache hit, and
+/// `cache_hit_rate` is exact — only `configs_per_second` (requests
+/// completed per wall-clock second) is a real host measurement.
+///
+/// # Panics
+///
+/// Panics if the service fails to start or any probe request fails —
+/// the probe is expected to always complete.
+fn serve_probe() -> mempool_obs::Json {
+    use std::sync::atomic::Ordering;
+    use std::time::Instant;
+
+    use mempool_obs::Json;
+    use mempool_serve::{ExperimentKind, ExperimentRequest, Service, ServiceConfig};
+
+    let service = Service::start(ServiceConfig {
+        workers: SERVE_PROBE_CLIENTS,
+        ..ServiceConfig::default()
+    })
+    .expect("the in-process probe service must start");
+    let request = |bw: u32| {
+        ExperimentRequest::new(ExperimentKind::Sweep {
+            bytes_per_cycle: bw,
+        })
+    };
+
+    let start = Instant::now();
+    // Cold pass: every unique config submitted once, computed in parallel.
+    let pending: Vec<_> = SERVE_PROBE_BANDWIDTHS
+        .iter()
+        .map(|&bw| {
+            service
+                .client()
+                .submit(request(bw))
+                .expect("the cold probe submission must be admitted")
+        })
+        .collect();
+    for p in pending {
+        p.wait().expect("the cold probe request must complete");
+    }
+    // Warm pass: concurrent clients replay the mix; all hits.
+    let clients: Vec<_> = (0..SERVE_PROBE_CLIENTS)
+        .map(|_| {
+            let client = service.client();
+            std::thread::spawn(move || {
+                for &bw in &SERVE_PROBE_BANDWIDTHS {
+                    client
+                        .run(request(bw))
+                        .expect("the warm probe request must complete");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("a probe client thread must not panic");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let stats = service.stats();
+    let requests = stats.requests.load(Ordering::Relaxed);
+    let computed = stats.computed.load(Ordering::Relaxed);
+    let hit_rate = stats.cache_hit_rate();
+    service.shutdown();
+    Json::obj([
+        (
+            "probe",
+            Json::str("8 sweep configs cold + 4-client warm replay"),
+        ),
+        ("requests_total", Json::Int(requests as i64)),
+        ("computed", Json::Int(computed as i64)),
+        ("configs_per_second", Json::Float(requests as f64 / elapsed)),
+        ("cache_hit_rate", Json::Float(hit_rate)),
     ])
 }
 
@@ -243,6 +334,42 @@ mod tests {
                 "perf.{key} = {value} must be a positive finite number"
             );
         }
+        let serve = perf
+            .get("serve")
+            .expect("the perf section carries the serve probe");
+        let float = |key: &str| {
+            serve
+                .get(key)
+                .and_then(|v| match v {
+                    mempool_obs::Json::Float(f) => Some(*f),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("perf.serve.{key} must be a float"))
+        };
+        let cps = float("configs_per_second");
+        assert!(cps.is_finite() && cps > 0.0, "configs_per_second = {cps}");
+        let int = |key: &str| {
+            serve
+                .get(key)
+                .and_then(|v| match v {
+                    mempool_obs::Json::Int(n) => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("perf.serve.{key} must be an integer"))
+        };
+        // The probe's request mix is fixed, so its counters are pinned:
+        // every unique config computed exactly once, every warm-pass
+        // replay a hit.
+        let unique = super::SERVE_PROBE_BANDWIDTHS.len() as i64;
+        let clients = super::SERVE_PROBE_CLIENTS as i64;
+        assert_eq!(int("computed"), unique);
+        assert_eq!(int("requests_total"), unique * (clients + 1));
+        let expected_rate = (clients * unique) as f64 / (unique * (clients + 1)) as f64;
+        let rate = float("cache_hit_rate");
+        assert!(
+            (rate - expected_rate).abs() < 1e-12,
+            "cache_hit_rate = {rate}, expected {expected_rate}"
+        );
     }
 
     #[test]

@@ -78,6 +78,13 @@ const RULES: &[Rule] = &[
     // "speedup"/"cycle" substring rules below.
     rule("cycles_per_second", Direction::LowerIsWorse, 0.60),
     rule("parallel_speedup", Direction::LowerIsWorse, 0.75),
+    // Service-throughput metrics from the serve probe. Configs served per
+    // wall-clock second is a host measurement and gets the same lenient
+    // collapse-only gate; the cache hit rate of the probe's deterministic
+    // request mix is pinned by construction, so any drop means the
+    // coalescing or cache path broke (a higher rate is never penalized).
+    rule("configs_per_second", Direction::LowerIsWorse, 0.60),
+    rule("cache_hit_rate", Direction::LowerIsWorse, 0.001),
     rule("speedup", Direction::LowerIsWorse, 0.02),
     rule("throughput", Direction::LowerIsWorse, 0.02),
     rule("utilization", Direction::LowerIsWorse, 0.02),
@@ -426,6 +433,26 @@ mod tests {
         // Getting faster is never a regression — the lenient LowerIsWorse
         // rules must shadow the strict HigherIsWorse "cycle" rule.
         assert!(!compare(&base, &perf(5e6, 3.0)).is_regression());
+    }
+
+    #[test]
+    fn serve_probe_rules_gate_hit_rate_drops_but_tolerate_host_noise() {
+        let perf = |cps: f64, rate: f64| {
+            Json::obj([(
+                "serve",
+                Json::obj([
+                    ("configs_per_second", Json::Float(cps)),
+                    ("cache_hit_rate", Json::Float(rate)),
+                ]),
+            )])
+        };
+        let base = perf(100.0, 0.8);
+        // Host throughput only trips on a collapse beyond the lenient gate.
+        assert!(!compare(&base, &perf(50.0, 0.8)).is_regression());
+        assert!(compare(&base, &perf(30.0, 0.8)).is_regression());
+        // The hit rate is pinned: any drop fails, a gain never does.
+        assert!(compare(&base, &perf(100.0, 0.7)).is_regression());
+        assert!(!compare(&base, &perf(100.0, 0.9)).is_regression());
     }
 
     #[test]

@@ -55,6 +55,18 @@ pub struct ScoredPoint {
 }
 
 impl ScoredPoint {
+    /// Scores one design point under all objectives — the single scoring
+    /// path shared by the in-process [`DesignSpace::explore`] and the
+    /// experiment service's per-point requests, so a sweep routed through
+    /// the service reproduces the one-shot numbers bit-for-bit.
+    pub fn score_all(eval: &Evaluation, point: DesignPoint) -> Self {
+        let mut scores = [0.0; 4];
+        for (slot, objective) in scores.iter_mut().zip(Objective::ALL) {
+            *slot = objective.score(eval, point);
+        }
+        ScoredPoint { point, scores }
+    }
+
     /// Whether `self` dominates `other` (at least as good everywhere,
     /// strictly better somewhere) under all objectives.
     pub fn dominates(&self, other: &ScoredPoint) -> bool {
@@ -90,15 +102,18 @@ pub struct DesignSpace {
 impl DesignSpace {
     /// Scores all eight design points under all objectives.
     pub fn explore(eval: &Evaluation) -> Self {
-        let points = DesignPoint::all()
-            .map(|point| {
-                let mut scores = [0.0; 4];
-                for (slot, objective) in scores.iter_mut().zip(Objective::ALL) {
-                    *slot = objective.score(eval, point);
-                }
-                ScoredPoint { point, scores }
-            })
-            .collect();
+        DesignSpace {
+            points: DesignPoint::all()
+                .map(|point| ScoredPoint::score_all(eval, point))
+                .collect(),
+        }
+    }
+
+    /// Assembles a design space from externally computed scores — the
+    /// entry point for batch clients (`mempool-serve`) that fetch each
+    /// point's scores through the experiment service and its cache
+    /// instead of scoring in-process. Point order is preserved.
+    pub fn from_scored(points: Vec<ScoredPoint>) -> Self {
         DesignSpace { points }
     }
 
@@ -229,6 +244,22 @@ mod tests {
             for b in s.points() {
                 assert!(!(a.dominates(b) && b.dominates(a)));
             }
+        }
+    }
+
+    #[test]
+    fn from_scored_reproduces_explore_exactly() {
+        let eval = Evaluation::new();
+        let direct = DesignSpace::explore(&eval);
+        let assembled = DesignSpace::from_scored(
+            DesignPoint::all()
+                .map(|p| ScoredPoint::score_all(&eval, p))
+                .collect(),
+        );
+        assert_eq!(direct.to_text(), assembled.to_text());
+        for (a, b) in direct.points().iter().zip(assembled.points()) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.scores, b.scores);
         }
     }
 

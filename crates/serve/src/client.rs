@@ -1,0 +1,217 @@
+//! Clients of the experiment service.
+//!
+//! [`Client`] is the in-process handle: thread-safe, cheap to clone, and
+//! the substrate of the DSE batch client and the throughput benchmark.
+//! [`TcpClient`] speaks the newline-delimited JSON protocol to a
+//! `repro serve` daemon over [`std::net::TcpStream`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+
+use mempool_obs::Json;
+
+use crate::protocol::{CacheOutcome, ExperimentRequest, ServeError, Status};
+use crate::service::{submit, Shared};
+
+/// A completed request: the artifact plus how it was satisfied.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The experiment artifact (identical to the one-shot `repro`
+    /// document for the same config).
+    pub artifact: Arc<Json>,
+    /// Hit, miss, or coalesced.
+    pub cache: CacheOutcome,
+}
+
+/// A submitted request whose status updates stream in.
+#[derive(Debug)]
+pub struct Pending {
+    rx: Receiver<Status>,
+}
+
+impl Pending {
+    /// The next status update (blocking). `None` once the stream ends.
+    pub fn next_status(&self) -> Option<Status> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocks until the request completes, collapsing the stream into
+    /// its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the service's typed error, or [`ServeError::Transport`]
+    /// if the service dropped the stream without a terminal status.
+    pub fn wait(self) -> Result<Outcome, ServeError> {
+        loop {
+            match self.rx.recv() {
+                Ok(Status::Done { cache, artifact }) => return Ok(Outcome { artifact, cache }),
+                Ok(Status::Error(error)) => return Err(error),
+                Ok(Status::Accepted { .. } | Status::Started) => continue,
+                Err(_) => {
+                    return Err(ServeError::Transport(
+                        "service dropped the response stream".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Thread-safe in-process submission handle (clone freely; all clones
+/// talk to the same pool and cache).
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        Client { shared }
+    }
+
+    /// Submits a request, returning the streaming handle on admission.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Backpressure`] when the bounded queue is full,
+    /// [`ServeError::ShuttingDown`] once draining began.
+    pub fn submit(&self, req: ExperimentRequest) -> Result<Pending, ServeError> {
+        let (tx, rx) = channel();
+        submit(&self.shared, req, tx)?;
+        Ok(Pending { rx })
+    }
+
+    /// Submits and blocks until done.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission and execution errors.
+    pub fn run(&self, req: ExperimentRequest) -> Result<Outcome, ServeError> {
+        self.submit(req)?.wait()
+    }
+}
+
+/// A TCP client for a `repro serve` daemon. Requests are issued
+/// sequentially per connection; concurrency comes from multiple
+/// connections (or the in-process [`Client`]).
+#[derive(Debug)]
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpClient {
+            reader,
+            writer: stream,
+            next_id: 1,
+        })
+    }
+
+    fn send_line(&mut self, doc: &Json) -> Result<(), ServeError> {
+        let mut line = doc.to_string();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| ServeError::Transport(e.to_string()))
+    }
+
+    fn read_status(&mut self, expect_id: u64) -> Result<Status, ServeError> {
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| ServeError::Transport(e.to_string()))?;
+            if n == 0 {
+                return Err(ServeError::Transport(
+                    "connection closed mid-response".to_string(),
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let doc = Json::parse(line.trim())
+                .map_err(|e| ServeError::Protocol(format!("unparseable response line: {e}")))?;
+            let (id, status) = Status::from_json(&doc).map_err(ServeError::Protocol)?;
+            if id != expect_id {
+                return Err(ServeError::Protocol(format!(
+                    "response for id {id} while waiting on {expect_id}"
+                )));
+            }
+            return Ok(status);
+        }
+    }
+
+    /// Issues one experiment request and blocks for its outcome,
+    /// consuming the streamed status lines.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors travel back as [`ServeError`]; transport and
+    /// protocol failures are tagged as such.
+    pub fn request(&mut self, req: &ExperimentRequest) -> Result<Outcome, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut doc = req.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.insert(0, ("id".to_string(), Json::Int(id as i64)));
+        }
+        self.send_line(&doc)?;
+        loop {
+            match self.read_status(id)? {
+                Status::Done { cache, artifact } => return Ok(Outcome { artifact, cache }),
+                Status::Error(error) => return Err(error),
+                Status::Accepted { .. } | Status::Started => continue,
+            }
+        }
+    }
+
+    fn admin(&mut self, kind: &str) -> Result<Arc<Json>, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_line(&Json::obj([
+            ("id", Json::Int(id as i64)),
+            ("kind", Json::str(kind)),
+        ]))?;
+        loop {
+            match self.read_status(id)? {
+                Status::Done { artifact, .. } => return Ok(artifact),
+                Status::Error(error) => return Err(error),
+                Status::Accepted { .. } | Status::Started => continue,
+            }
+        }
+    }
+
+    /// Fetches the service stats document
+    /// (`mempool-serve-stats/v1`: counters, gauges, flight events).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn stats(&mut self) -> Result<Arc<Json>, ServeError> {
+        self.admin("stats")
+    }
+
+    /// Asks the daemon to drain and exit. The daemon acknowledges before
+    /// it stops accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.admin("shutdown").map(|_| ())
+    }
+}

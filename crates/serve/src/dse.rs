@@ -1,0 +1,139 @@
+//! The design-space-exploration batch client.
+//!
+//! Instead of scoring the eight design points in-process
+//! ([`DesignSpace::explore`]), the batch client issues one `dse_point`
+//! request per point through the experiment service — so a sweep shares
+//! the service's content-addressed cache and request coalescing with
+//! every other client, and a repeated exploration costs eight cache hits.
+//! [`mempool::dse::ScoredPoint::score_all`] is the single scoring path
+//! behind both, so the assembled [`DesignSpace`] is bit-identical to the
+//! in-process one.
+
+use mempool::design::DesignPoint;
+use mempool::dse::{DesignSpace, ScoredPoint};
+use mempool_kernels::matmul::PhaseModel;
+use mempool_obs::Json;
+
+use crate::client::{Client, TcpClient};
+use crate::protocol::{ExperimentKind, ExperimentRequest, ModelConfig, ServeError};
+
+fn point_request(point: DesignPoint, model: ModelConfig) -> ExperimentRequest {
+    ExperimentRequest {
+        kind: ExperimentKind::DsePoint { point },
+        model,
+        threads: crate::protocol::DEFAULT_THREADS,
+    }
+}
+
+/// Reconstructs a [`ScoredPoint`] from a `dse_point` artifact.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] when the artifact does not describe `point`
+/// or carries a malformed score vector.
+pub fn parse_scored(point: DesignPoint, artifact: &Json) -> Result<ScoredPoint, ServeError> {
+    let design = artifact.get("design").and_then(Json::as_str);
+    if design != Some(point.name().as_str()) {
+        return Err(ServeError::Protocol(format!(
+            "artifact describes {design:?}, expected {:?}",
+            point.name()
+        )));
+    }
+    let scores = artifact
+        .get("scores")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Protocol("dse_point artifact missing scores".to_string()))?;
+    if scores.len() != 4 {
+        return Err(ServeError::Protocol(format!(
+            "expected 4 objective scores, got {}",
+            scores.len()
+        )));
+    }
+    let mut vector = [0.0f64; 4];
+    for (slot, value) in vector.iter_mut().zip(scores) {
+        *slot = value.as_f64().ok_or_else(|| {
+            ServeError::Protocol(format!("non-numeric objective score: {value:?}"))
+        })?;
+    }
+    Ok(ScoredPoint {
+        point,
+        scores: vector,
+    })
+}
+
+/// Explores the full design space through an in-process service client:
+/// all eight `dse_point` requests are submitted up front (fan-out), then
+/// collected in [`DesignPoint::all`] order.
+///
+/// # Errors
+///
+/// Propagates submission errors (backpressure, shutdown) and execution or
+/// artifact-shape failures.
+pub fn explore_via(client: &Client, model: &PhaseModel) -> Result<DesignSpace, ServeError> {
+    let config = ModelConfig::from(*model);
+    let pending: Vec<_> = DesignPoint::all()
+        .map(|point| {
+            client
+                .submit(point_request(point, config))
+                .map(|handle| (point, handle))
+        })
+        .collect::<Result<_, _>>()?;
+    let scored = pending
+        .into_iter()
+        .map(|(point, handle)| {
+            let outcome = handle.wait()?;
+            parse_scored(point, &outcome.artifact)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(DesignSpace::from_scored(scored))
+}
+
+/// [`explore_via`] over TCP: issues the eight requests sequentially on
+/// one daemon connection (the daemon's cache still coalesces and reuses
+/// results across clients).
+///
+/// # Errors
+///
+/// Propagates transport, service, and artifact-shape failures.
+pub fn explore_via_tcp(
+    client: &mut TcpClient,
+    model: &PhaseModel,
+) -> Result<DesignSpace, ServeError> {
+    let config = ModelConfig::from(*model);
+    let scored = DesignPoint::all()
+        .map(|point| {
+            let outcome = client.request(&point_request(point, config))?;
+            parse_scored(point, &outcome.artifact)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(DesignSpace::from_scored(scored))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool::experiments::Evaluation;
+
+    #[test]
+    fn parse_scored_round_trips_the_runner_artifact() {
+        let eval = Evaluation::new();
+        for point in DesignPoint::all() {
+            let scored = ScoredPoint::score_all(&eval, point);
+            let artifact = crate::exec::dse_point_json(&scored);
+            let parsed = parse_scored(point, &artifact).unwrap();
+            assert_eq!(parsed.point, point);
+            assert_eq!(parsed.scores, scored.scores);
+        }
+    }
+
+    #[test]
+    fn parse_scored_rejects_mismatched_points() {
+        let eval = Evaluation::new();
+        let mut points = DesignPoint::all();
+        let first = points.next().unwrap();
+        let second = points.next().unwrap();
+        let artifact = crate::exec::dse_point_json(&ScoredPoint::score_all(&eval, first));
+        let err = parse_scored(second, &artifact).unwrap_err();
+        assert_eq!(err.code(), "protocol");
+    }
+}

@@ -1,0 +1,185 @@
+//! The default experiment runner: maps a canonical request onto the same
+//! code paths one-shot `repro` uses, so a served artifact is byte-identical
+//! to the CLI's output for the same config.
+
+use mempool::dse::{Objective, ScoredPoint};
+use mempool::experiments::{Evaluation, Fig6, Fig7, Fig8, Fig9, Table1, Table2};
+use mempool_arch::{ClusterConfig, SpmCapacity};
+use mempool_kernels::matmul::ComputePhase;
+use mempool_kernels::Kernel;
+use mempool_obs::Json;
+use mempool_sim::{Cluster, SimParams};
+
+use crate::protocol::{ExperimentKind, ExperimentRequest};
+use crate::service::Runner;
+
+/// Problem size and cluster shape of the `kernel` request's probe
+/// simulation (matches the bench throughput probe).
+const KERNEL_TILES: u32 = 4;
+const KERNEL_CORES_PER_TILE: u32 = 4;
+const KERNEL_BANKS_PER_TILE: u32 = 16;
+const KERNEL_BANK_WORDS: u32 = 512;
+
+/// Executes experiment requests on the reproduction pipeline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExperimentRunner;
+
+impl Runner for ExperimentRunner {
+    fn run(&self, req: &ExperimentRequest) -> Result<Json, String> {
+        let model = req.model.to_phase_model();
+        Ok(match req.kind {
+            ExperimentKind::Table1 => Table1::generate().to_json(),
+            ExperimentKind::Table2 => {
+                Table2::from_evaluation(&Evaluation::with_model(model)).to_json()
+            }
+            ExperimentKind::Fig6 => Fig6::with_model(model).to_json(),
+            ExperimentKind::Fig7 => Fig7::from_evaluation(&Evaluation::with_model(model)).to_json(),
+            ExperimentKind::Fig8 => Fig8::from_evaluation(&Evaluation::with_model(model)).to_json(),
+            ExperimentKind::Fig9 => Fig9::from_evaluation(&Evaluation::with_model(model)).to_json(),
+            ExperimentKind::Sweep { bytes_per_cycle } => sweep_point(&model, bytes_per_cycle),
+            ExperimentKind::DsePoint { point } => {
+                let eval = Evaluation::with_model(model);
+                let scored = ScoredPoint::score_all(&eval, point);
+                dse_point_json(&scored)
+            }
+            ExperimentKind::Kernel { p } => kernel_run(p, req.threads)?,
+        })
+    }
+}
+
+/// One bandwidth point of the Figure 6 sweep: every capacity's speedup
+/// versus the paper's reference (1 MiB at 4 B/cycle) and versus half the
+/// SPM, at a single off-chip bandwidth. Numbers come from the same
+/// [`mempool_kernels::matmul::PhaseModel`] the full figure uses.
+fn sweep_point(model: &mempool_kernels::matmul::PhaseModel, bytes_per_cycle: u32) -> Json {
+    let points = SpmCapacity::ALL
+        .iter()
+        .map(|&capacity| {
+            let vs_reference = model.speedup(capacity, bytes_per_cycle, SpmCapacity::MiB1, 4);
+            let vs_half = capacity
+                .half()
+                .map(|half| model.speedup(capacity, bytes_per_cycle, half, bytes_per_cycle));
+            Json::obj([
+                ("capacity", Json::str(capacity.to_string())),
+                ("speedup_vs_reference", Json::Float(vs_reference)),
+                ("speedup_vs_half", vs_half.map_or(Json::Null, Json::Float)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("experiment", Json::str("sweep")),
+        ("bytes_per_cycle", Json::Int(bytes_per_cycle as i64)),
+        ("reference", Json::str("1 MiB at 4 B/cycle")),
+        ("points", Json::Arr(points)),
+    ])
+}
+
+/// Serializes one scored design point; [`crate::dse::explore_via`] parses
+/// this back into a [`ScoredPoint`].
+pub(crate) fn dse_point_json(scored: &ScoredPoint) -> Json {
+    let objectives = Objective::ALL
+        .iter()
+        .map(|o| Json::str(format!("{o:?}")))
+        .collect();
+    Json::obj([
+        ("experiment", Json::str("dse_point")),
+        ("design", Json::str(scored.point.name())),
+        ("flow", Json::str(scored.point.flow.to_string())),
+        (
+            "capacity_mib",
+            Json::Int(scored.point.capacity.mebibytes() as i64),
+        ),
+        ("objectives", Json::Arr(objectives)),
+        (
+            "scores",
+            Json::Arr(scored.scores.iter().map(|&s| Json::Float(s)).collect()),
+        ),
+    ])
+}
+
+/// Runs the matmul compute phase cycle-accurately on the probe cluster.
+/// The artifact carries the cycle count and the cluster-stats digest —
+/// bit-identical at any host-thread count, which is exactly why `threads`
+/// is not part of the cache key.
+fn kernel_run(p: u32, threads: usize) -> Result<Json, String> {
+    let config = ClusterConfig::builder()
+        .groups(1)
+        .tiles_per_group(KERNEL_TILES)
+        .cores_per_tile(KERNEL_CORES_PER_TILE)
+        .banks_per_tile(KERNEL_BANKS_PER_TILE)
+        .bank_words(KERNEL_BANK_WORDS)
+        .build()
+        .map_err(|e| format!("probe cluster config: {e}"))?;
+    let params = SimParams {
+        threads,
+        ..SimParams::default()
+    };
+    let mut cluster = Cluster::new(config, params);
+    let phase = ComputePhase::new(p);
+    let cycles = phase
+        .run(&mut cluster, 100_000_000)
+        .map_err(|e| format!("compute phase p={p}: {e}"))?;
+    let stats = cluster.stats();
+    Ok(Json::obj([
+        ("experiment", Json::str("kernel")),
+        ("kernel", Json::str("compute_phase")),
+        ("p", Json::Int(p as i64)),
+        ("cycles", Json::Int(cycles as i64)),
+        (
+            "stats_digest",
+            Json::str(format!("{:016x}", stats.digest())),
+        ),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ModelConfig;
+
+    #[test]
+    fn fig6_artifact_matches_the_one_shot_pipeline_exactly() {
+        let artifact = ExperimentRunner
+            .run(&ExperimentRequest::new(ExperimentKind::Fig6))
+            .unwrap();
+        let one_shot = Fig6::generate().to_json();
+        assert_eq!(artifact.to_pretty(), one_shot.to_pretty());
+    }
+
+    #[test]
+    fn sweep_point_matches_the_full_figure() {
+        let model = ModelConfig::default().to_phase_model();
+        let artifact = ExperimentRunner
+            .run(&ExperimentRequest::new(ExperimentKind::Sweep {
+                bytes_per_cycle: 16,
+            }))
+            .unwrap();
+        let fig = Fig6::with_model(model);
+        let points = artifact.get("points").and_then(Json::as_arr).unwrap();
+        for (json, capacity) in points.iter().zip(SpmCapacity::ALL) {
+            let expected = fig.point(capacity, 16).unwrap();
+            assert_eq!(
+                json.get("speedup_vs_reference").and_then(Json::as_f64),
+                Some(expected.speedup_vs_reference)
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_run_is_thread_count_invariant() {
+        let sequential = ExperimentRunner
+            .run(&ExperimentRequest {
+                threads: 1,
+                ..ExperimentRequest::new(ExperimentKind::Kernel { p: 16 })
+            })
+            .unwrap();
+        let parallel = ExperimentRunner
+            .run(&ExperimentRequest {
+                threads: 4,
+                ..ExperimentRequest::new(ExperimentKind::Kernel { p: 16 })
+            })
+            .unwrap();
+        assert_eq!(sequential.to_pretty(), parallel.to_pretty());
+        assert!(sequential.get("cycles").and_then(Json::as_int).unwrap() > 0);
+    }
+}

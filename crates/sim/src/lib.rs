@@ -64,6 +64,6 @@ pub mod trace;
 
 pub use cluster::{Cluster, SimError};
 pub use offchip::OffchipPort;
-pub use params::{default_threads, set_default_threads, SimParams};
+pub use params::{default_threads, set_default_threads, SimParams, ENGINE_VERSION};
 pub use stats::{BankStats, ClusterStats, CoreStats};
 pub use trace::{Trace, TraceEntry};

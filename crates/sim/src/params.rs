@@ -4,6 +4,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mempool_arch::LatencyModel;
 
+/// Version tag of the simulation engine, mixed into every content-addressed
+/// cache key (`mempool-serve`): bump it whenever a change alters simulated
+/// timing or artifact contents, so stale cached results are invalidated
+/// instead of replayed. The host-thread count is deliberately *not* part of
+/// the version — the phased-tick engine is bit-identical at any thread
+/// count, so results are shareable across `--threads` settings.
+pub const ENGINE_VERSION: &str = "mempool-sim/v1-phased-tick";
+
 /// Process-wide default for [`SimParams::threads`], consulted by
 /// [`SimParams::default`]. `repro --threads N` sets this once at startup so
 /// every cluster constructed through default parameters inherits it.
@@ -82,6 +90,55 @@ impl SimParams {
             ..self
         }
     }
+
+    /// A 64-bit FNV-1a digest over every *timing-relevant* field in a
+    /// fixed canonical order, seeded with [`ENGINE_VERSION`]. Two
+    /// parameter sets that simulate identically hash identically — in
+    /// particular [`SimParams::threads`] is excluded, because the
+    /// phased-tick engine is bit-identical at any host-thread count. The
+    /// experiment service uses this digest as part of its
+    /// content-addressed cache key, so semantically equal configs (however
+    /// they were spelled or defaulted) dedupe, and an engine-version bump
+    /// invalidates every stale entry.
+    pub fn digest(&self) -> u64 {
+        self.digest_with_version(ENGINE_VERSION)
+    }
+
+    /// [`SimParams::digest`] under an explicit engine-version tag —
+    /// exposed so tests can prove that bumping the version changes every
+    /// key.
+    pub fn digest_with_version(&self, version: &str) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix_bytes = |bytes: &[u8]| {
+            for &byte in bytes {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix_bytes(version.as_bytes());
+        // Canonical field order: latency triplet first, then the
+        // scoreboard/pipeline knobs, then the memory system. Appending a
+        // field is a semantic change and belongs at the end (with an
+        // ENGINE_VERSION bump if it alters existing behavior).
+        for value in [
+            self.latency.tile_local,
+            self.latency.group_local,
+            self.latency.remote,
+            self.max_outstanding,
+            self.taken_branch_penalty,
+            self.icache_miss_penalty,
+            self.icache_line_words,
+            self.icache_ways,
+            self.offchip_bytes_per_cycle,
+            self.offchip_latency,
+            self.ecc_correction_penalty,
+        ] {
+            mix_bytes(&value.to_le_bytes());
+        }
+        hash
+    }
 }
 
 impl Default for SimParams {
@@ -118,6 +175,78 @@ mod tests {
         // `set_default_threads`; tests that need a thread count set
         // `SimParams.threads` directly.
         assert_eq!(SimParams::default().threads, 1);
+    }
+
+    #[test]
+    fn digest_is_stable_across_runs_and_ignores_threads() {
+        let a = SimParams::default();
+        // A config spelled through a different construction path but
+        // semantically equal must land on the same key.
+        let b = SimParams {
+            latency: LatencyModel::PAPER,
+            ..SimParams::default()
+        };
+        assert_eq!(a.digest(), b.digest());
+        // The host-thread count never changes simulated results, so it
+        // must not fragment the cache.
+        let threaded = SimParams {
+            threads: 8,
+            ..SimParams::default()
+        };
+        assert_eq!(a.digest(), threaded.digest());
+    }
+
+    #[test]
+    fn digest_sees_every_timing_field() {
+        let base = SimParams::default();
+        let variants = [
+            SimParams {
+                max_outstanding: 9,
+                ..base
+            },
+            SimParams {
+                taken_branch_penalty: 2,
+                ..base
+            },
+            SimParams {
+                icache_miss_penalty: 26,
+                ..base
+            },
+            SimParams {
+                icache_line_words: 16,
+                ..base
+            },
+            SimParams {
+                icache_ways: 2,
+                ..base
+            },
+            SimParams {
+                offchip_bytes_per_cycle: 32,
+                ..base
+            },
+            SimParams {
+                offchip_latency: 31,
+                ..base
+            },
+            SimParams {
+                ecc_correction_penalty: 4,
+                ..base
+            },
+            base.with_offchip_bandwidth(4),
+        ];
+        for variant in variants {
+            assert_ne!(base.digest(), variant.digest(), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn engine_version_bump_invalidates_every_key() {
+        let p = SimParams::default();
+        assert_eq!(p.digest(), p.digest_with_version(ENGINE_VERSION));
+        assert_ne!(
+            p.digest(),
+            p.digest_with_version("mempool-sim/v2-hypothetical")
+        );
     }
 
     #[test]
