@@ -65,6 +65,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--measure] [--artifacts DIR] [--faults SEED[:RATE]] [--watchdog N]\n\
          \x20            [--timeseries WINDOW] [--flight N] [--threads N]\n\
+         \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume PATH]\n\
          \x20            [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]...\n\
          \x20      repro diff BASELINE.json CANDIDATE.json\n\
          \x20      repro check --baseline PATH [--bless]\n\
@@ -92,6 +93,15 @@ fn usage() -> ExitCode {
                               the phased-tick parallel engine (default 1 =\n\
                               sequential); results are bit-identical at any\n\
                               thread count\n\
+         --checkpoint-dir DIR snapshot the degraded run into DIR as atomic\n\
+                              ckpt-<cycle>.json files with bounded retention;\n\
+                              on a simulator fault the last good snapshot is\n\
+                              copied next to crashdump.json\n\
+         --checkpoint-every N snapshot interval in simulated cycles (default\n\
+                              10000; requires --checkpoint-dir)\n\
+         --resume PATH        restore the degraded run from a checkpoint file\n\
+                              and finish it; the resumed artifacts are\n\
+                              bit-identical to an uninterrupted run\n\
          \n\
          diff                 compare two benchmark artifacts metric-by-metric;\n\
                               exit 1 on regression, 2 on usage/parse errors\n\
@@ -126,6 +136,9 @@ struct Options {
     timeseries: Option<u64>,
     flight: Option<usize>,
     threads: usize,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: Option<u64>,
+    resume: Option<String>,
 }
 
 /// Parses `SEED[:RATE]`. Both parts are validated strictly: a non-numeric
@@ -158,6 +171,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut timeseries = None;
     let mut flight = None;
     let mut threads = 1;
+    let mut checkpoint_dir = None;
+    let mut checkpoint_every = None;
+    let mut resume = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -192,6 +208,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let value = args::flag_value(&mut it, "--threads", "a thread-count")?;
                 threads = args::parse_nonzero_usize("--threads", "count", value)?;
             }
+            "--checkpoint-dir" => {
+                checkpoint_dir =
+                    Some(args::flag_value(&mut it, "--checkpoint-dir", "a directory")?.to_string());
+            }
+            "--checkpoint-every" => {
+                let value = args::flag_value(&mut it, "--checkpoint-every", "a cycle-count")?;
+                checkpoint_every = Some(args::parse_nonzero_u64(
+                    "--checkpoint-every",
+                    "interval",
+                    value,
+                )?);
+            }
+            "--resume" => {
+                resume =
+                    Some(args::flag_value(&mut it, "--resume", "a checkpoint file")?.to_string());
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}"));
             }
@@ -206,6 +238,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
+    if checkpoint_every.is_some() && checkpoint_dir.is_none() {
+        return Err("--checkpoint-every requires --checkpoint-dir".to_string());
+    }
+    if (checkpoint_dir.is_some() || resume.is_some()) && faults.is_none() {
+        return Err(
+            "--checkpoint-dir/--resume apply to the degraded run; add --faults".to_string(),
+        );
+    }
     Ok(Options {
         targets,
         measure,
@@ -215,6 +255,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         timeseries,
         flight,
         threads,
+        checkpoint_dir,
+        checkpoint_every,
+        resume,
     })
 }
 
@@ -463,7 +506,7 @@ fn parse_submit_args(argv: &[String]) -> Result<SubmitOptions, String> {
 }
 
 fn cmd_submit(argv: &[String]) -> ExitCode {
-    use mempool_serve::{dse, ExperimentRequest, TcpClient};
+    use mempool_serve::{dse, ExperimentRequest, RetryPolicy, TcpClient};
 
     let SubmitOptions {
         connect,
@@ -477,7 +520,10 @@ fn cmd_submit(argv: &[String]) -> ExitCode {
             return usage();
         }
     };
-    let mut client = match TcpClient::connect(&connect) {
+    // Bounded retries with backoff: a daemon restarting mid-sweep (crash
+    // recovery, rolling restart) comes back within the retry window and
+    // the submission resumes instead of failing.
+    let mut client = match TcpClient::connect_with(&connect, &RetryPolicy::default()) {
         Ok(client) => client,
         Err(e) => {
             eprintln!("repro submit: cannot connect to {connect}: {e}");
@@ -754,10 +800,16 @@ fn main() -> ExitCode {
     let resilience = match opts.faults {
         Some((seed, rate)) => {
             eprintln!("measuring degraded run (seed {seed}, rate {rate:.1e}) ...");
+            if let Some(path) = &opts.resume {
+                eprintln!("resuming degraded run from {path} ...");
+            }
             let hooks = DegradedObs {
                 obs: obs.clone(),
                 timeseries_window: opts.timeseries,
                 flight_capacity: opts.flight,
+                checkpoint_dir: opts.checkpoint_dir.clone().map(Into::into),
+                checkpoint_every: opts.checkpoint_every,
+                resume: opts.resume.clone().map(Into::into),
             };
             match Resilience::with_model_observed(model, seed, rate, opts.watchdog, Some(&hooks)) {
                 Ok(r) => {
@@ -784,6 +836,27 @@ fn main() -> ExitCode {
                                 eprintln!("repro: crash dump written to {}", path.display())
                             }
                             Err(e) => eprintln!("repro: writing crashdump.json: {e}"),
+                        }
+                    }
+                    // When checkpointing was on, park the newest surviving
+                    // snapshot next to the dump and say how to resume.
+                    if let Some(last) = &failure.last_checkpoint {
+                        let dest = match artifacts.as_ref() {
+                            Some(art) => art.root().join("checkpoint-last-good.json"),
+                            None => std::path::PathBuf::from("checkpoint-last-good.json"),
+                        };
+                        match std::fs::copy(last, &dest) {
+                            Ok(_) => eprintln!(
+                                "repro: last good checkpoint copied to {}\n\
+                                 repro: resume with: repro --faults {seed}:{rate:e} --resume {}",
+                                dest.display(),
+                                dest.display()
+                            ),
+                            Err(e) => eprintln!(
+                                "repro: copying {} to {}: {e}",
+                                last.display(),
+                                dest.display()
+                            ),
                         }
                     }
                     return ExitCode::FAILURE;

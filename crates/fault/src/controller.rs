@@ -276,6 +276,48 @@ impl FaultController {
         report.ecc_pending = self.ecc.pending_words() as u64;
         report
     }
+
+    /// Checkpoint accessor: link health per tile.
+    pub fn links(&self) -> &[LinkState] {
+        &self.links
+    }
+
+    /// Checkpoint accessor: the timed events not yet delivered, in cycle
+    /// order. Already-delivered events (before the cursor) are dropped —
+    /// they have been applied to the cluster and live on in its state.
+    pub fn remaining_timed(&self) -> &[(u64, TimedFault)] {
+        &self.timed[self.cursor..]
+    }
+
+    /// Checkpoint accessor: the ECC state (sorted entries via
+    /// [`EccState::entries`]).
+    pub fn ecc_state(&self) -> &EccState {
+        &self.ecc
+    }
+
+    /// Rebuilds a controller from checkpointed parts: remaining timed
+    /// events become the whole queue (cursor 0), and no flight ring is
+    /// attached (the cluster re-attaches one when flight recording is
+    /// re-enabled).
+    pub fn from_snapshot(
+        links: Vec<LinkState>,
+        remaining_timed: Vec<(u64, TimedFault)>,
+        ecc: EccState,
+        stuck: Vec<(TileId, BankId)>,
+        dead_link_policy: DeadLinkPolicy,
+        report: FaultReport,
+    ) -> Self {
+        FaultController {
+            links,
+            timed: remaining_timed,
+            cursor: 0,
+            ecc,
+            stuck,
+            dead_link_policy,
+            report,
+            flight: None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,26 @@ impl EccState {
     pub fn pending_words(&self) -> usize {
         self.pending.len()
     }
+
+    /// All pending `(location, mask)` entries sorted by location, for a
+    /// deterministic checkpoint serialization order.
+    pub fn entries(&self) -> Vec<(BankLocation, u32)> {
+        let mut entries: Vec<(BankLocation, u32)> = self
+            .pending
+            .iter()
+            .map(|(&loc, &mask)| (loc, mask))
+            .collect();
+        entries.sort_unstable_by_key(|&(loc, _)| (loc.tile.0, loc.bank.0, loc.word));
+        entries
+    }
+
+    /// Rebuilds the state from saved `(location, mask)` entries (zero
+    /// masks are dropped).
+    pub fn from_entries(entries: impl IntoIterator<Item = (BankLocation, u32)>) -> Self {
+        EccState {
+            pending: entries.into_iter().filter(|&(_, m)| m != 0).collect(),
+        }
+    }
 }
 
 #[cfg(test)]

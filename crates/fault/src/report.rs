@@ -96,6 +96,51 @@ impl FaultReport {
             ),
         ])
     }
+
+    /// Rebuilds a report from its [`Self::to_json`] document (used by
+    /// checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        fn u64_field(doc: &Json, key: &str) -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_int)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| format!("fault report: missing or invalid '{key}'"))
+        }
+        let injected = doc
+            .get("injected")
+            .ok_or_else(|| "fault report: missing 'injected'".to_string())?;
+        let remapped = doc
+            .get("remapped_banks")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "fault report: missing 'remapped_banks'".to_string())?
+            .iter()
+            .map(|entry| {
+                Ok(RemappedBank {
+                    tile: u64_field(entry, "tile")? as u32,
+                    from_bank: u64_field(entry, "from_bank")? as u32,
+                    to_bank: u64_field(entry, "to_bank")? as u32,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(FaultReport {
+            seed: u64_field(doc, "seed")?,
+            links_degraded: u64_field(injected, "links_degraded")?,
+            links_dead: u64_field(injected, "links_dead")?,
+            stuck_banks: u64_field(injected, "stuck_banks")?,
+            transient_flips: u64_field(injected, "transient_flips")?,
+            core_hangs: u64_field(injected, "core_hangs")?,
+            remapped,
+            retried_accesses: u64_field(doc, "retried_accesses")?,
+            retry_cycles: u64_field(doc, "retry_cycles")?,
+            ecc_corrected: u64_field(doc, "ecc_corrected")?,
+            ecc_pending: u64_field(doc, "ecc_pending")?,
+            blackholed_requests: u64_field(doc, "blackholed_requests")?,
+        })
+    }
 }
 
 impl fmt::Display for FaultReport {
@@ -162,5 +207,24 @@ mod tests {
         assert!(text.contains("seed 42"));
         assert!(text.contains("1 stuck banks"));
         assert!(text.contains("40 extra cycles"));
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let report = FaultReport {
+            seed: 7,
+            links_dead: 1,
+            core_hangs: 2,
+            remapped: vec![RemappedBank {
+                tile: 3,
+                from_bank: 1,
+                to_bank: 16,
+            }],
+            blackholed_requests: 9,
+            ..Default::default()
+        };
+        let doc = Json::parse(&report.to_json().to_pretty()).unwrap();
+        assert_eq!(FaultReport::from_json(&doc).unwrap(), report);
+        assert!(FaultReport::from_json(&Json::obj([])).is_err());
     }
 }

@@ -35,6 +35,13 @@ impl Watchdog {
         self.threshold
     }
 
+    /// Cycle of the last recorded progress (checkpoint/restore needs this
+    /// to rebuild an identical watchdog: `Watchdog::new(threshold,
+    /// last_progress)`).
+    pub fn last_progress(&self) -> u64 {
+        self.last_progress
+    }
+
     /// Records that the cluster made forward progress at `cycle`.
     pub fn note_progress(&mut self, cycle: u64) {
         self.last_progress = cycle;

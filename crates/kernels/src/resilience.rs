@@ -12,10 +12,12 @@
 //! performance, never correctness (uncorrectable errors and deadlocks are
 //! typed simulator errors, not wrong numbers).
 
+use std::path::{Path, PathBuf};
+
 use mempool_arch::ClusterConfig;
 use mempool_fault::{FaultConfig, FaultPlan, FaultReport};
 use mempool_obs::{AttributionReport, Json, Obs};
-use mempool_sim::{Cluster, SimParams};
+use mempool_sim::{run_with_checkpoints, CheckpointError, Checkpointer, Cluster, SimParams};
 
 use crate::matmul::ComputePhase;
 use crate::workload::{Kernel, KernelError};
@@ -23,6 +25,14 @@ use crate::workload::{Kernel, KernelError};
 /// Cycle budget for one resilience phase (generous: the phase itself runs
 /// in tens of thousands of cycles).
 const BUDGET: u64 = 100_000_000;
+
+/// Checkpoint files retained per degraded run (newest first; older
+/// snapshots are deleted as new ones land).
+const CHECKPOINT_KEEP: usize = 3;
+
+/// Default snapshot interval (cycles) when a checkpoint directory is set
+/// but no explicit interval is.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 10_000;
 
 /// Result of a clean-vs-degraded pair of compute-phase runs.
 #[derive(Debug, Clone)]
@@ -102,6 +112,19 @@ pub struct DegradedObs {
     pub timeseries_window: Option<u64>,
     /// Flight-recorder ring capacity, when wanted.
     pub flight_capacity: Option<usize>,
+    /// Directory for periodic degraded-run checkpoints, when wanted.
+    /// Snapshots are atomic (`ckpt-<cycle>.json`, temp + rename) with
+    /// bounded retention; a crashed run's last good snapshot is reported
+    /// through [`DegradedFailure::last_checkpoint`].
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot interval in cycles ([`DEFAULT_CHECKPOINT_EVERY`] when
+    /// unset). Ignored without `checkpoint_dir`.
+    pub checkpoint_every: Option<u64>,
+    /// Resume the degraded run from this checkpoint file instead of
+    /// starting it at cycle zero. The snapshot carries the program, fault
+    /// controller, and watchdog, so the resumed run is bit-identical to
+    /// an unbroken one.
+    pub resume: Option<PathBuf>,
 }
 
 /// A failed degraded run: the error, plus — when the simulator itself
@@ -115,6 +138,9 @@ pub struct DegradedFailure {
     /// shape/assembly/verification failures, which have no cluster state
     /// worth dumping).
     pub crash_dump: Option<Json>,
+    /// The newest checkpoint that survived the crash, when checkpointing
+    /// was on — resume from it via [`DegradedObs::resume`].
+    pub last_checkpoint: Option<PathBuf>,
 }
 
 impl std::fmt::Display for DegradedFailure {
@@ -162,6 +188,7 @@ pub fn degraded_compute_run_observed(
         Box::new(DegradedFailure {
             error,
             crash_dump: None,
+            last_checkpoint: None,
         })
     };
     let phase = ComputePhase::new(32);
@@ -170,33 +197,94 @@ pub fn degraded_compute_run_observed(
     let clean_cycles = phase.run(&mut clean, BUDGET).map_err(plain)?;
     drop(clean);
 
-    let mut degraded = resilience_cluster().map_err(plain)?;
+    // Resume restores everything — program, PCs, fault controller,
+    // watchdog — from the snapshot; a fresh start builds the cluster and
+    // injects the plan itself.
+    let resume = hooks.and_then(|h| h.resume.as_deref());
+    let mut degraded = match resume {
+        Some(path) => Cluster::restore_from_file(path).map_err(|e| {
+            plain(KernelError::Checkpoint {
+                detail: format!("resume from {}: {e}", path.display()),
+            })
+        })?,
+        None => resilience_cluster().map_err(plain)?,
+    };
     if let Some(hooks) = hooks {
         degraded.attach_obs(&hooks.obs, "degraded");
         if let Some(window) = hooks.timeseries_window {
-            degraded.enable_timeseries(window);
+            if resume.is_some() {
+                // Keep the restored epoch cursors; enable_timeseries
+                // would rebaseline them and break mid-epoch resumes.
+                degraded.resume_timeseries(window);
+            } else {
+                degraded.enable_timeseries(window);
+            }
         }
         if let Some(capacity) = hooks.flight_capacity {
             degraded.enable_flight(capacity);
             degraded.enable_trace(capacity);
         }
     }
+    // The plan is regenerated on resume too: injection state lives in
+    // the checkpoint, but the event count reported below does not.
     let fault_cfg = FaultConfig::new(seed, rate).with_horizon(clean_cycles.max(1));
     let plan = FaultPlan::generate(&fault_cfg, degraded.config());
-    degraded.inject_faults(&plan).map_err(|e| plain(e.into()))?;
-    if let Some(threshold) = watchdog {
-        degraded.set_watchdog(threshold);
+    if resume.is_none() {
+        degraded.inject_faults(&plan).map_err(|e| plain(e.into()))?;
+        if let Some(threshold) = watchdog {
+            degraded.set_watchdog(threshold);
+        }
+        // The fresh-start prologue of `Kernel::run`; a resumed cluster
+        // must never repeat it (load_program resets every PC).
+        let program = phase.program(&degraded).map_err(plain)?;
+        phase.setup(&mut degraded).map_err(plain)?;
+        degraded.load_program(program);
+        degraded.preload_icaches();
     }
-    let degraded_cycles = match phase.run(&mut degraded, BUDGET) {
-        Ok(cycles) => cycles,
+
+    let mut checkpointer = match hooks.and_then(|h| h.checkpoint_dir.as_ref()) {
+        Some(dir) => {
+            let every = hooks
+                .and_then(|h| h.checkpoint_every)
+                .unwrap_or(DEFAULT_CHECKPOINT_EVERY);
+            Some(Checkpointer::new(dir, every, CHECKPOINT_KEEP).map_err(|e| {
+                plain(KernelError::Checkpoint {
+                    detail: e.to_string(),
+                })
+            })?)
+        }
+        None => None,
+    };
+    // The phase deadline is absolute (the kernel starts at cycle zero),
+    // so a resumed run only gets the budget's remainder.
+    let remaining = BUDGET.saturating_sub(degraded.cycle());
+    let run_result = match &mut checkpointer {
+        Some(ckpt) => run_with_checkpoints(&mut degraded, remaining, ckpt).map_err(|e| match e {
+            CheckpointError::Sim(sim) => KernelError::Sim(sim),
+            other => KernelError::Checkpoint {
+                detail: other.to_string(),
+            },
+        }),
+        None => degraded.run(remaining).map_err(KernelError::Sim),
+    };
+    let degraded_cycles = match run_result {
+        Ok(end) => end,
         Err(error) => {
             let crash_dump = match &error {
                 KernelError::Sim(sim) => Some(degraded.crash_dump(sim)),
                 _ => None,
             };
-            return Err(Box::new(DegradedFailure { error, crash_dump }));
+            let last_checkpoint = checkpointer
+                .as_ref()
+                .and_then(|c| c.last_good().map(Path::to_path_buf));
+            return Err(Box::new(DegradedFailure {
+                error,
+                crash_dump,
+                last_checkpoint,
+            }));
         }
     };
+    phase.verify(&degraded).map_err(plain)?;
 
     let stats = degraded.stats();
     let attribution = stats.attribution(
@@ -249,6 +337,7 @@ mod tests {
             obs: Obs::new(),
             timeseries_window: Some(256),
             flight_capacity: Some(128),
+            ..DegradedObs::default()
         };
         let run = degraded_compute_run_observed(42, 1e-6, Some(2_000_000), Some(&hooks)).unwrap();
         assert!(run.degraded_cycles > run.clean_cycles);
@@ -270,6 +359,7 @@ mod tests {
             obs: Obs::new(),
             timeseries_window: Some(64),
             flight_capacity: Some(64),
+            ..DegradedObs::default()
         };
         let failure = degraded_compute_run_observed(42, 1e-6, Some(1), Some(&hooks)).unwrap_err();
         assert!(matches!(failure.error, KernelError::Sim(_)));
@@ -292,6 +382,85 @@ mod tests {
             .and_then(Json::as_arr)
             .unwrap();
         assert!(!series.is_empty(), "partial epoch must be flushed");
+    }
+
+    #[test]
+    fn a_checkpointed_degraded_run_resumes_bit_exactly() {
+        let dir =
+            std::env::temp_dir().join(format!("mempool-resilience-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Reference: the unbroken degraded run.
+        let unbroken = degraded_compute_run(42, 1e-6, Some(2_000_000)).unwrap();
+
+        // The same run with periodic checkpoints. The artifacts must be
+        // unchanged by the slicing, and snapshots must exist afterwards.
+        let hooks = DegradedObs {
+            obs: Obs::new(),
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: Some(5_000),
+            ..DegradedObs::default()
+        };
+        let ckpted =
+            degraded_compute_run_observed(42, 1e-6, Some(2_000_000), Some(&hooks)).unwrap();
+        assert_eq!(ckpted.degraded_cycles, unbroken.degraded_cycles);
+        assert_eq!(ckpted.report, unbroken.report);
+        let mut snapshots: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        snapshots.sort();
+        assert!(
+            (1..=CHECKPOINT_KEEP).contains(&snapshots.len()),
+            "retention bounds snapshots: {snapshots:?}"
+        );
+
+        // Resume from a genuinely mid-run snapshot (the oldest retained
+        // one) and finish: bit-exact against the unbroken run.
+        let resume_hooks = DegradedObs {
+            obs: Obs::new(),
+            resume: Some(snapshots[0].clone()),
+            ..DegradedObs::default()
+        };
+        let resumed =
+            degraded_compute_run_observed(42, 1e-6, Some(2_000_000), Some(&resume_hooks)).unwrap();
+        assert_eq!(resumed.degraded_cycles, unbroken.degraded_cycles);
+        assert_eq!(resumed.report, unbroken.report);
+        assert_eq!(
+            resumed.attribution.to_json().to_pretty(),
+            unbroken.attribution.to_json().to_pretty(),
+            "resume must not disturb cycle attribution"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_crashed_checkpointed_run_reports_its_last_good_snapshot() {
+        let dir =
+            std::env::temp_dir().join(format!("mempool-resilience-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let hooks = DegradedObs {
+            obs: Obs::new(),
+            flight_capacity: Some(64),
+            checkpoint_dir: Some(dir.clone()),
+            // The hair-trigger watchdog below deadlocks within the first
+            // few cycles; per-cycle slicing guarantees a snapshot lands
+            // before it trips.
+            checkpoint_every: Some(1),
+            ..DegradedObs::default()
+        };
+        // A hair-trigger watchdog kills the run after the snapshots start.
+        let failure = degraded_compute_run_observed(42, 1e-6, Some(1), Some(&hooks)).unwrap_err();
+        assert!(matches!(failure.error, KernelError::Sim(_)));
+        assert!(failure.crash_dump.is_some());
+        let last = failure.last_checkpoint.expect("snapshots were written");
+        assert!(last.exists(), "{}", last.display());
+        // The reported snapshot restores cleanly.
+        let restored = Cluster::restore_from_file(&last).unwrap();
+        assert!(restored.cycle() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

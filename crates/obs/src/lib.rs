@@ -22,6 +22,8 @@
 //!   Perfetto or `chrome://tracing`;
 //! * [`json`] — the self-contained JSON document model the exporters emit
 //!   (the vendored `serde` stub performs no real serialization);
+//! * [`load`] — quarantine-aware JSON file loading shared by the serve
+//!   result cache, its job journal, and the checkpoint loader;
 //! * [`artifacts`] — the artifact-directory writer used by
 //!   `repro --artifacts DIR`.
 //!
@@ -54,6 +56,7 @@ pub mod attribution;
 pub mod chrome;
 pub mod flight;
 pub mod json;
+pub mod load;
 pub mod metrics;
 pub mod span;
 pub mod timeseries;
@@ -65,6 +68,7 @@ pub use attribution::{
 pub use chrome::{chrome_trace, chrome_trace_with_counters};
 pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use json::{Json, JsonError};
+pub use load::{load_json_file, quarantine_path, LoadOutcome};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use span::{ProcessId, Span, SpanRecorder, TrackId};
 pub use timeseries::{Sample, TimeSeries};

@@ -1,0 +1,130 @@
+//! Quarantine-aware JSON file loading.
+//!
+//! Artifact stores that survive process restarts — the serve result
+//! cache, its job journal, and simulator checkpoints — must never panic
+//! (or silently loop) on a file a crashed writer left truncated or a
+//! stray process corrupted. [`load_json_file`] centralizes the policy:
+//! a file that exists but does not parse is *quarantined* by renaming it
+//! with a `.corrupt` suffix and reported as such, so the caller can treat
+//! it as a miss, emit a flight-recorder event, and never trip over the
+//! same bytes twice.
+
+use std::fs;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+
+/// Result of loading a JSON document from disk.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// The file existed and parsed.
+    Loaded(Json),
+    /// The file does not exist (or is unreadable) — an ordinary miss.
+    Missing,
+    /// The file existed but did not parse; it was renamed out of the way
+    /// (best effort) so it will not be retried.
+    Quarantined {
+        /// Where the corrupt bytes were moved (`<name>.corrupt`). The
+        /// rename is best-effort: if it failed the original path still
+        /// holds the bytes.
+        renamed_to: PathBuf,
+        /// The parse error that condemned the file.
+        error: String,
+    },
+}
+
+impl LoadOutcome {
+    /// The parsed document, if the load succeeded.
+    pub fn into_loaded(self) -> Option<Json> {
+        match self {
+            LoadOutcome::Loaded(doc) => Some(doc),
+            _ => None,
+        }
+    }
+}
+
+/// The quarantine destination for a corrupt file: the same path with
+/// `.corrupt` appended to the file name.
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(".corrupt");
+    path.with_file_name(name)
+}
+
+/// Loads and parses a JSON file. A missing file is a plain
+/// [`LoadOutcome::Missing`]; a present-but-unparseable file is renamed to
+/// `<name>.corrupt` and reported as [`LoadOutcome::Quarantined`] — never
+/// a panic, and never an entry that poisons every future lookup.
+pub fn load_json_file(path: &Path) -> LoadOutcome {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == ErrorKind::NotFound => return LoadOutcome::Missing,
+        Err(_) => return LoadOutcome::Missing,
+    };
+    match Json::parse(&text) {
+        Ok(doc) => LoadOutcome::Loaded(doc),
+        Err(e) => {
+            let renamed_to = quarantine_path(path);
+            let _ = fs::rename(path, &renamed_to);
+            LoadOutcome::Quarantined {
+                renamed_to,
+                error: e.to_string(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mempool-load-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn missing_files_are_misses() {
+        let dir = temp_dir("missing");
+        assert!(matches!(
+            load_json_file(&dir.join("nope.json")),
+            LoadOutcome::Missing
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn valid_files_load() {
+        let dir = temp_dir("valid");
+        let path = dir.join("ok.json");
+        fs::write(&path, "{\"x\": 1}").unwrap();
+        let doc = load_json_file(&path).into_loaded().expect("parses");
+        assert_eq!(doc.get("x").and_then(Json::as_int), Some(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_quarantined_and_not_retried() {
+        let dir = temp_dir("corrupt");
+        let path = dir.join("bad.json");
+        fs::write(&path, "{truncated").unwrap();
+        match load_json_file(&path) {
+            LoadOutcome::Quarantined { renamed_to, error } => {
+                assert_eq!(renamed_to, dir.join("bad.json.corrupt"));
+                assert!(renamed_to.exists(), "corrupt bytes preserved");
+                assert!(!error.is_empty());
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(!path.exists(), "original renamed away");
+        // The second load is a plain miss — the quarantine is permanent.
+        assert!(matches!(load_json_file(&path), LoadOutcome::Missing));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -6,7 +6,11 @@
 //! optionally, on disk (`--cache-dir`). Disk entries are written
 //! atomically (temp file + rename), so a crash or shutdown mid-write
 //! never leaves a corrupt entry: a reader sees either the complete
-//! artifact or nothing.
+//! artifact or nothing. Should one appear anyway (external tampering,
+//! disk corruption), it is **quarantined**: renamed `<name>.corrupt`,
+//! treated as a miss, and surfaced through
+//! [`ResultCache::drain_quarantined`] so the service can log a flight
+//! event — a corrupt entry never panics and is never re-parsed.
 
 use std::collections::HashMap;
 use std::fs;
@@ -14,7 +18,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use mempool_obs::Json;
+use mempool_obs::{load_json_file, Json, LoadOutcome};
 
 /// A thread-safe result cache: an in-memory map, optionally backed by an
 /// on-disk directory of `cas-<key>.json` files shared across daemon
@@ -23,6 +27,7 @@ use mempool_obs::Json;
 pub struct ResultCache {
     memory: Mutex<HashMap<u64, Arc<Json>>>,
     dir: Option<PathBuf>,
+    quarantined: Mutex<Vec<String>>,
 }
 
 impl ResultCache {
@@ -31,6 +36,7 @@ impl ResultCache {
         ResultCache {
             memory: Mutex::new(HashMap::new()),
             dir: None,
+            quarantined: Mutex::new(Vec::new()),
         }
     }
 
@@ -45,6 +51,7 @@ impl ResultCache {
         Ok(ResultCache {
             memory: Mutex::new(HashMap::new()),
             dir: Some(dir.as_ref().to_path_buf()),
+            quarantined: Mutex::new(Vec::new()),
         })
     }
 
@@ -54,19 +61,41 @@ impl ResultCache {
     }
 
     /// Looks up a key: memory first, then disk (promoting a disk hit into
-    /// memory). A disk entry that fails to parse is treated as absent —
-    /// atomic writes make that unreachable short of external tampering.
+    /// memory). A disk entry that fails to parse is quarantined (renamed
+    /// `.corrupt`, recorded for [`Self::drain_quarantined`]) and treated
+    /// as a miss — the rename also guarantees the broken file is never
+    /// parsed twice.
     pub fn get(&self, key: u64) -> Option<Arc<Json>> {
         let mut memory = self.memory.lock().expect("cache mutex poisoned");
         if let Some(hit) = memory.get(&key) {
             return Some(Arc::clone(hit));
         }
         let dir = self.dir.as_ref()?;
-        let text = fs::read_to_string(dir.join(Self::entry_name(key))).ok()?;
-        let doc = Json::parse(&text).ok()?;
-        let entry = Arc::new(doc);
-        memory.insert(key, Arc::clone(&entry));
-        Some(entry)
+        match load_json_file(&dir.join(Self::entry_name(key))) {
+            LoadOutcome::Loaded(doc) => {
+                let entry = Arc::new(doc);
+                memory.insert(key, Arc::clone(&entry));
+                Some(entry)
+            }
+            LoadOutcome::Missing => None,
+            LoadOutcome::Quarantined { renamed_to, error } => {
+                self.quarantined
+                    .lock()
+                    .expect("quarantine mutex poisoned")
+                    .push(format!(
+                        "cache entry {} corrupt ({error}); quarantined to {}",
+                        Self::entry_name(key),
+                        renamed_to.display()
+                    ));
+                None
+            }
+        }
+    }
+
+    /// Takes the descriptions of entries quarantined since the last
+    /// drain (the service forwards them to the flight recorder).
+    pub fn drain_quarantined(&self) -> Vec<String> {
+        std::mem::take(&mut self.quarantined.lock().expect("quarantine mutex poisoned"))
     }
 
     /// Inserts an artifact, returning the shared handle. The disk write
@@ -171,6 +200,18 @@ mod tests {
         let cache = ResultCache::with_dir(&dir).unwrap();
         fs::write(dir.join(ResultCache::entry_name(9)), "{not json").unwrap();
         assert!(cache.get(9).is_none());
+        // The broken file was renamed away and reported exactly once.
+        assert!(!dir.join(ResultCache::entry_name(9)).exists());
+        assert!(dir
+            .join(format!("{}.corrupt", ResultCache::entry_name(9)))
+            .exists());
+        let events = cache.drain_quarantined();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].contains("corrupt"), "{}", events[0]);
+        assert!(cache.drain_quarantined().is_empty(), "drained once");
+        // Re-reading the now-quarantined key is a clean miss.
+        assert!(cache.get(9).is_none());
+        assert!(cache.drain_quarantined().is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,6 +1,18 @@
 //! The default experiment runner: maps a canonical request onto the same
 //! code paths one-shot `repro` uses, so a served artifact is byte-identical
 //! to the CLI's output for the same config.
+//!
+//! With a checkpoint directory configured
+//! ([`ExperimentRunner::with_checkpoints`]), cycle-accurate `kernel`
+//! requests snapshot their cluster periodically under
+//! `ckpt-<cache key>.json`. A later run of the same request — after a
+//! daemon restart, a worker panic, or a `kill -9` — restores the snapshot
+//! and finishes the remaining cycles instead of recomputing from zero.
+//! Bit-exact restore (see [`mempool_sim::ckpt`]) guarantees the resumed
+//! artifact is byte-identical to an uninterrupted one.
+
+use std::fs;
+use std::path::{Path, PathBuf};
 
 use mempool::dse::{Objective, ScoredPoint};
 use mempool::experiments::{Evaluation, Fig6, Fig7, Fig8, Fig9, Table1, Table2};
@@ -8,7 +20,7 @@ use mempool_arch::{ClusterConfig, SpmCapacity};
 use mempool_kernels::matmul::ComputePhase;
 use mempool_kernels::Kernel;
 use mempool_obs::Json;
-use mempool_sim::{Cluster, SimParams};
+use mempool_sim::{Cluster, SimError, SimParams};
 
 use crate::protocol::{ExperimentKind, ExperimentRequest};
 use crate::service::Runner;
@@ -20,9 +32,32 @@ const KERNEL_CORES_PER_TILE: u32 = 4;
 const KERNEL_BANKS_PER_TILE: u32 = 16;
 const KERNEL_BANK_WORDS: u32 = 512;
 
+/// Default checkpoint interval (simulated cycles) for served kernel runs.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 250_000;
+
 /// Executes experiment requests on the reproduction pipeline.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct ExperimentRunner;
+#[derive(Debug, Default, Clone)]
+pub struct ExperimentRunner {
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+}
+
+impl ExperimentRunner {
+    /// A runner that checkpoints cycle-accurate requests into `dir` every
+    /// `every` simulated cycles (clamped to at least 1) and resumes from
+    /// an existing checkpoint of the same request.
+    pub fn with_checkpoints(dir: impl Into<PathBuf>, every: u64) -> Self {
+        ExperimentRunner {
+            checkpoint_dir: Some(dir.into()),
+            checkpoint_every: every.max(1),
+        }
+    }
+
+    /// The on-disk checkpoint name of a request key.
+    pub fn checkpoint_name(key: u64) -> String {
+        format!("ckpt-{key:016x}.json")
+    }
+}
 
 impl Runner for ExperimentRunner {
     fn run(&self, req: &ExperimentRequest) -> Result<Json, String> {
@@ -42,7 +77,15 @@ impl Runner for ExperimentRunner {
                 let scored = ScoredPoint::score_all(&eval, point);
                 dse_point_json(&scored)
             }
-            ExperimentKind::Kernel { p } => kernel_run(p, req.threads)?,
+            ExperimentKind::Kernel { p } => {
+                let ckpt = self.checkpoint_dir.as_ref().map(|dir| {
+                    (
+                        dir.join(Self::checkpoint_name(req.cache_key())),
+                        self.checkpoint_every.max(1),
+                    )
+                });
+                kernel_run(p, req.threads, ckpt)?
+            }
         })
     }
 }
@@ -101,7 +144,8 @@ pub(crate) fn dse_point_json(scored: &ScoredPoint) -> Json {
 /// The artifact carries the cycle count and the cluster-stats digest —
 /// bit-identical at any host-thread count, which is exactly why `threads`
 /// is not part of the cache key.
-fn kernel_run(p: u32, threads: usize) -> Result<Json, String> {
+fn kernel_run(p: u32, threads: usize, ckpt: Option<(PathBuf, u64)>) -> Result<Json, String> {
+    const BUDGET: u64 = 100_000_000;
     let config = ClusterConfig::builder()
         .groups(1)
         .tiles_per_group(KERNEL_TILES)
@@ -114,11 +158,45 @@ fn kernel_run(p: u32, threads: usize) -> Result<Json, String> {
         threads,
         ..SimParams::default()
     };
-    let mut cluster = Cluster::new(config, params);
     let phase = ComputePhase::new(p);
-    let cycles = phase
-        .run(&mut cluster, 100_000_000)
-        .map_err(|e| format!("compute phase p={p}: {e}"))?;
+    // Resume from a checkpoint of this exact request if one survived a
+    // crash; a restore failure (stale engine version, quarantined corrupt
+    // file) falls back to a clean start.
+    let mut cluster = match &ckpt {
+        Some((path, _)) if path.exists() => match Cluster::restore_from_file(path) {
+            Ok(cluster) => cluster,
+            Err(_) => fresh_kernel_cluster(&phase, config, params)?,
+        },
+        _ => fresh_kernel_cluster(&phase, config, params)?,
+    };
+    let cycles = match &ckpt {
+        None => phase_budget_run(&mut cluster, BUDGET, p)?,
+        Some((path, every)) => {
+            // Run in checkpoint-sized slices; the kernel starts at cycle 0,
+            // so the budget deadline is absolute even after a resume.
+            let end = loop {
+                let remaining = BUDGET.saturating_sub(cluster.cycle());
+                if remaining == 0 {
+                    return Err(format!(
+                        "compute phase p={p}: timed out after {BUDGET} cycles"
+                    ));
+                }
+                match cluster.run(remaining.min(*every)) {
+                    Ok(end) => break end,
+                    Err(SimError::Timeout { .. }) => save_job_checkpoint(path, &cluster)?,
+                    Err(e) => {
+                        // Keep the last checkpoint for a later retry.
+                        return Err(format!("compute phase p={p}: {e}"));
+                    }
+                }
+            };
+            phase
+                .verify(&cluster)
+                .map_err(|e| format!("compute phase p={p}: {e}"))?;
+            let _ = fs::remove_file(path);
+            end
+        }
+    };
     let stats = cluster.stats();
     Ok(Json::obj([
         ("experiment", Json::str("kernel")),
@@ -132,6 +210,44 @@ fn kernel_run(p: u32, threads: usize) -> Result<Json, String> {
     ]))
 }
 
+/// The fresh-start prologue of [`Kernel::run`]: program, inputs, preload.
+fn fresh_kernel_cluster(
+    phase: &ComputePhase,
+    config: ClusterConfig,
+    params: SimParams,
+) -> Result<Cluster, String> {
+    let mut cluster = Cluster::new(config, params);
+    let program = phase
+        .program(&cluster)
+        .map_err(|e| format!("compute phase program: {e}"))?;
+    phase
+        .setup(&mut cluster)
+        .map_err(|e| format!("compute phase setup: {e}"))?;
+    cluster.load_program(program);
+    cluster.preload_icaches();
+    Ok(cluster)
+}
+
+/// One uninterrupted kernel run (no checkpointing), verification included.
+fn phase_budget_run(cluster: &mut Cluster, budget: u64, p: u32) -> Result<u64, String> {
+    let end = cluster
+        .run(budget)
+        .map_err(|e| format!("compute phase p={p}: {e}"))?;
+    let phase = ComputePhase::new(p);
+    phase
+        .verify(cluster)
+        .map_err(|e| format!("compute phase p={p}: {e}"))?;
+    Ok(end)
+}
+
+/// Atomic (temp + rename) single-file checkpoint overwrite.
+fn save_job_checkpoint(path: &Path, cluster: &Cluster) -> Result<(), String> {
+    let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+    fs::write(&tmp, cluster.checkpoint().to_pretty())
+        .and_then(|()| fs::rename(&tmp, path))
+        .map_err(|e| format!("writing checkpoint {}: {e}", path.display()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,7 +255,7 @@ mod tests {
 
     #[test]
     fn fig6_artifact_matches_the_one_shot_pipeline_exactly() {
-        let artifact = ExperimentRunner
+        let artifact = ExperimentRunner::default()
             .run(&ExperimentRequest::new(ExperimentKind::Fig6))
             .unwrap();
         let one_shot = Fig6::generate().to_json();
@@ -149,7 +265,7 @@ mod tests {
     #[test]
     fn sweep_point_matches_the_full_figure() {
         let model = ModelConfig::default().to_phase_model();
-        let artifact = ExperimentRunner
+        let artifact = ExperimentRunner::default()
             .run(&ExperimentRequest::new(ExperimentKind::Sweep {
                 bytes_per_cycle: 16,
             }))
@@ -167,13 +283,13 @@ mod tests {
 
     #[test]
     fn kernel_run_is_thread_count_invariant() {
-        let sequential = ExperimentRunner
+        let sequential = ExperimentRunner::default()
             .run(&ExperimentRequest {
                 threads: 1,
                 ..ExperimentRequest::new(ExperimentKind::Kernel { p: 16 })
             })
             .unwrap();
-        let parallel = ExperimentRunner
+        let parallel = ExperimentRunner::default()
             .run(&ExperimentRequest {
                 threads: 4,
                 ..ExperimentRequest::new(ExperimentKind::Kernel { p: 16 })

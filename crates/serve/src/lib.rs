@@ -40,7 +40,7 @@ pub mod protocol;
 pub mod service;
 
 pub use cache::ResultCache;
-pub use client::{Client, Outcome, Pending, TcpClient};
+pub use client::{Client, Outcome, Pending, RetryPolicy, TcpClient};
 pub use exec::ExperimentRunner;
 pub use net::TcpServer;
 pub use protocol::{

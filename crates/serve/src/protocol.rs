@@ -426,6 +426,9 @@ pub enum ServeError {
     Experiment(String),
     /// Client-side transport failure (connection, I/O).
     Transport(String),
+    /// A connect or read deadline expired (retryable; see
+    /// [`crate::RetryPolicy`]).
+    Timeout(String),
     /// The peer sent a response the client cannot interpret.
     Protocol(String),
 }
@@ -439,6 +442,7 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Experiment(_) => "experiment",
             ServeError::Transport(_) => "transport",
+            ServeError::Timeout(_) => "timeout",
             ServeError::Protocol(_) => "protocol",
         }
     }
@@ -454,6 +458,7 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Experiment(msg) => write!(f, "experiment failed: {msg}"),
             ServeError::Transport(msg) => write!(f, "transport error: {msg}"),
+            ServeError::Timeout(msg) => write!(f, "timed out: {msg}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
@@ -552,6 +557,7 @@ impl Status {
                     Some("shutting_down") => ServeError::ShuttingDown,
                     Some("bad_request") => ServeError::BadRequest(message),
                     Some("experiment") => ServeError::Experiment(message),
+                    Some("timeout") => ServeError::Timeout(message),
                     other => {
                         ServeError::Protocol(format!("unknown error code {other:?}: {message}"))
                     }

@@ -22,6 +22,7 @@
 //! [`mempool_obs::FlightRecorder`] replay of recent service events.
 
 use std::collections::{HashMap, VecDeque};
+use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,7 +30,7 @@ use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use mempool_obs::{FlightRecorder, Json};
+use mempool_obs::{load_json_file, quarantine_path, FlightRecorder, Json, LoadOutcome};
 
 use crate::cache::ResultCache;
 use crate::protocol::{CacheOutcome, ExperimentRequest, ServeError, Status};
@@ -167,6 +168,36 @@ impl Shared {
         self.shutdown_requested.load(Ordering::SeqCst)
     }
 
+    /// Forwards cache corruption quarantines into the flight ring.
+    fn drain_cache_quarantine(&self) {
+        for message in self.cache.drain_quarantined() {
+            self.record("corrupt", None, message);
+        }
+    }
+
+    /// On-disk journal of a not-yet-completed job, when persistent.
+    fn journal_path(&self, key: u64) -> Option<PathBuf> {
+        self.cache.dir().map(|dir| dir.join(journal_name(key)))
+    }
+
+    /// Persists an accepted job so a restarted daemon re-runs it
+    /// (atomic write; failures degrade to no recovery, never an error).
+    fn write_journal(&self, key: u64, req: &ExperimentRequest) {
+        if let Some(path) = self.journal_path(key) {
+            let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+            if fs::write(&tmp, req.to_json().to_pretty()).is_ok() {
+                let _ = fs::rename(&tmp, &path);
+            }
+        }
+    }
+
+    /// Retires a job's journal once every waiter has its answer.
+    fn remove_journal(&self, key: u64) {
+        if let Some(path) = self.journal_path(key) {
+            let _ = fs::remove_file(path);
+        }
+    }
+
     fn record(&self, category: &'static str, worker: Option<u32>, message: String) {
         let mut flight = self.flight.lock().expect("flight ring poisoned");
         if flight.ring.len() == flight.capacity {
@@ -200,7 +231,17 @@ impl Service {
     /// Propagates cache-directory creation failures as a
     /// [`ServeError::Transport`].
     pub fn start(config: ServiceConfig) -> Result<Self, ServeError> {
-        Self::start_with_runner(config, Box::new(crate::exec::ExperimentRunner))
+        // With a persistent cache the runner also persists checkpoints of
+        // long cycle-accurate runs there, so a daemon restart resumes
+        // partially-computed experiments instead of recomputing them.
+        let runner: Box<dyn Runner> = match &config.cache_dir {
+            Some(dir) => Box::new(crate::exec::ExperimentRunner::with_checkpoints(
+                dir,
+                crate::exec::DEFAULT_CHECKPOINT_EVERY,
+            )),
+            None => Box::new(crate::exec::ExperimentRunner::default()),
+        };
+        Self::start_with_runner(config, runner)
     }
 
     /// Starts the worker pool with a caller-provided runner (tests).
@@ -252,6 +293,7 @@ impl Service {
             None,
             format!("started {} worker(s)", config.workers),
         );
+        recover_journaled_jobs(&shared);
         Ok(Service { shared, workers })
     }
 
@@ -383,10 +425,15 @@ pub(crate) fn submit(
         );
         return Ok(());
     }
-    if let Some(artifact) = shared.cache.get(key) {
+    let cached = shared.cache.get(key);
+    shared.drain_cache_quarantine();
+    if let Some(artifact) = cached {
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
         shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        // A journal can outlive its job only when a crash hit between the
+        // cache publish and journal removal; a hit proves it is stale.
+        shared.remove_journal(key);
         let _ = tx.send(Status::Accepted {
             queue_depth: state.queue.len(),
         });
@@ -433,6 +480,9 @@ pub(crate) fn submit(
         None,
         format!("{} key={key:016x}", req.kind.tag()),
     );
+    // Journal while still holding the state lock: no worker can complete
+    // (and retire) the job before its journal exists on disk.
+    shared.write_journal(key, &req);
     drop(state);
     shared.work.notify_one();
     Ok(())
@@ -492,6 +542,7 @@ fn worker_loop(shared: &Shared, index: u32) {
                         artifact: Arc::clone(&artifact),
                     });
                 }
+                shared.remove_journal(key);
                 shared.record(
                     "done",
                     Some(index),
@@ -508,6 +559,9 @@ fn worker_loop(shared: &Shared, index: u32) {
                         .tx
                         .send(Status::Error(ServeError::Experiment(message.clone())));
                 }
+                // Every waiter got its (error) answer; nothing to recover.
+                // Any experiment checkpoint stays for a retry to resume.
+                shared.remove_journal(key);
                 shared.record("fail", Some(index), format!("key={key:016x}: {message}"));
             }
         }
@@ -516,6 +570,87 @@ fn worker_loop(shared: &Shared, index: u32) {
         shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
         if now_idle {
             shared.idle.notify_all();
+        }
+    }
+}
+
+/// The on-disk journal name of a job key.
+fn journal_name(key: u64) -> String {
+    format!("job-{key:016x}.json")
+}
+
+/// Re-submits every journaled (accepted but never completed) job left on
+/// disk by a previous daemon run — a crashed or killed daemon finishes
+/// its accepted work after restart. The re-submitted jobs have no waiter
+/// (the original clients are gone); they simply warm the cache, resuming
+/// from any experiment checkpoint the dead run saved. Corrupt journals
+/// are quarantined and reported, never fatal.
+fn recover_journaled_jobs(shared: &Arc<Shared>) {
+    let Some(dir) = shared.cache.dir().map(PathBuf::from) else {
+        return;
+    };
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return;
+    };
+    let mut journals: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with("job-") && name.ends_with(".json"))
+        })
+        .collect();
+    journals.sort();
+    for path in journals {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        match load_json_file(&path) {
+            LoadOutcome::Loaded(doc) => match ExperimentRequest::from_json(&doc) {
+                Ok(req) => {
+                    let canonical = shared.journal_path(req.cache_key());
+                    // No one is waiting on the channel; the job's value is
+                    // the cache entry it leaves behind.
+                    let (tx, _rx) = std::sync::mpsc::channel();
+                    match submit(shared, req, tx) {
+                        Ok(()) => {
+                            // submit re-journals queued jobs under the
+                            // canonical name; a file whose name does not
+                            // match its own cache key would otherwise be
+                            // resubmitted on every restart.
+                            if canonical.as_deref() != Some(path.as_path()) {
+                                let _ = fs::remove_file(&path);
+                            }
+                            shared.record("recover", None, format!("resubmitted {name}"));
+                        }
+                        Err(e) => {
+                            shared.record("recover", None, format!("dropped {name}: {e}"));
+                            let _ = fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => {
+                    let renamed = quarantine_path(&path);
+                    let _ = fs::rename(&path, &renamed);
+                    shared.record(
+                        "corrupt",
+                        None,
+                        format!("journal {name} unreadable ({e}); quarantined"),
+                    );
+                }
+            },
+            LoadOutcome::Missing => {}
+            LoadOutcome::Quarantined { renamed_to, error } => {
+                shared.record(
+                    "corrupt",
+                    None,
+                    format!(
+                        "journal {name} corrupt ({error}); quarantined to {}",
+                        renamed_to.display()
+                    ),
+                );
+            }
         }
     }
 }

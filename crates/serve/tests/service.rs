@@ -332,3 +332,162 @@ fn metrics_and_flight_recorder_export_through_mempool_obs() {
     assert!(categories.contains(&"done"), "{categories:?}");
     assert!(categories.contains(&"hit"), "{categories:?}");
 }
+
+/// A journaled job left behind by a dead daemon is re-run on startup,
+/// warming the cache without any client asking again.
+#[test]
+fn journaled_jobs_from_a_dead_daemon_are_recomputed_on_restart() {
+    let dir = std::env::temp_dir().join(format!("mempool-serve-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let req = ExperimentRequest::new(ExperimentKind::Table1);
+    let key = req.cache_key();
+    // Forge the journal a crashed daemon would have left: the job was
+    // accepted (journal written) but never completed (no cache entry).
+    std::fs::write(
+        dir.join(format!("job-{key:016x}.json")),
+        req.to_json().to_pretty(),
+    )
+    .unwrap();
+    // A journal whose name does not match its own cache key (renamed by
+    // hand, or written by an older build) must still be retired — workers
+    // only remove the canonical name, so recovery has to clean this up.
+    std::fs::write(
+        dir.join("job-00000000deadbeef.json"),
+        req.to_json().to_pretty(),
+    )
+    .unwrap();
+
+    let service = Service::start(ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    wait_until("the recovered job to compute", || {
+        service.stats().computed.load(Ordering::SeqCst) == 1
+    });
+    service.quiesce();
+    // The journal retired with the job; the artifact is now cached, so a
+    // client asking again gets a hit without recomputation. The misnamed
+    // duplicate coalesced with it and was removed at recovery time.
+    assert!(!dir.join(format!("job-{key:016x}.json")).exists());
+    assert!(!dir.join("job-00000000deadbeef.json").exists());
+    assert!(dir.join(ResultCache::entry_name(key)).exists());
+    let outcome = service.client().run(req).unwrap();
+    assert_eq!(outcome.cache, CacheOutcome::Hit);
+    assert_eq!(service.stats().computed.load(Ordering::SeqCst), 1);
+    let flight = service.flight_recorder().to_json().to_pretty();
+    assert!(flight.contains("recover"), "{flight}");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt journals and cache entries are quarantined and reported as
+/// flight events — never a panic, never parsed twice.
+#[test]
+fn corrupt_journals_and_cache_entries_are_quarantined_with_flight_events() {
+    let dir = std::env::temp_dir().join(format!("mempool-serve-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("job-00000000000000aa.json"), "{truncated").unwrap();
+    let req = ExperimentRequest::new(ExperimentKind::Table1);
+    let key = req.cache_key();
+    std::fs::write(dir.join(ResultCache::entry_name(key)), "also {not json").unwrap();
+
+    let service = Service::start(ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    // The corrupt cache entry reads as a miss: the request computes.
+    let outcome = service.client().run(req).unwrap();
+    assert_eq!(outcome.cache, CacheOutcome::Miss);
+    assert!(dir.join("job-00000000000000aa.json.corrupt").exists());
+    assert!(!dir.join("job-00000000000000aa.json").exists());
+    let flight = service.flight_recorder().to_json().to_pretty();
+    assert!(flight.contains("corrupt"), "{flight}");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance path end to end: a daemon killed mid-kernel leaves a
+/// job journal and a mid-run checkpoint on disk; the restarted daemon
+/// resumes the simulation from the checkpoint (not from cycle zero) and
+/// publishes an artifact byte-identical to an uninterrupted run.
+#[test]
+fn kernel_requests_resume_from_experiment_checkpoints_bit_exactly() {
+    use mempool_kernels::matmul::ComputePhase;
+    use mempool_kernels::Kernel;
+    use mempool_serve::ExperimentRunner;
+    use mempool_sim::{Cluster, SimError, SimParams};
+
+    let dir = std::env::temp_dir().join(format!("mempool-serve-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let req = ExperimentRequest::new(ExperimentKind::Kernel { p: 16 });
+    let key = req.cache_key();
+
+    // Reference: an uninterrupted run with no persistence at all.
+    let unbroken = {
+        let service = Service::start(ServiceConfig::default()).unwrap();
+        let outcome = service.client().run(req).unwrap();
+        service.shutdown();
+        outcome.artifact
+    };
+
+    // Forge the on-disk state of a daemon killed 500 cycles into the
+    // kernel: the accepted job's journal plus the runner's checkpoint
+    // (the same probe cluster shape exec uses).
+    let config = mempool_arch::ClusterConfig::builder()
+        .groups(1)
+        .tiles_per_group(4)
+        .cores_per_tile(4)
+        .banks_per_tile(16)
+        .bank_words(512)
+        .build()
+        .unwrap();
+    let phase = ComputePhase::new(16);
+    let mut cluster = Cluster::new(config, SimParams::default());
+    let program = phase.program(&cluster).unwrap();
+    phase.setup(&mut cluster).unwrap();
+    cluster.load_program(program);
+    cluster.preload_icaches();
+    assert!(matches!(cluster.run(500), Err(SimError::Timeout { .. })));
+    let ckpt_path = dir.join(ExperimentRunner::checkpoint_name(key));
+    std::fs::write(&ckpt_path, cluster.checkpoint().to_pretty()).unwrap();
+    std::fs::write(
+        dir.join(format!("job-{key:016x}.json")),
+        req.to_json().to_pretty(),
+    )
+    .unwrap();
+
+    // Restart the daemon: journal recovery resubmits the job and the
+    // runner resumes from cycle 500 instead of recomputing.
+    let service = Service::start(ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    wait_until("the recovered kernel to finish", || {
+        service.stats().computed.load(Ordering::SeqCst) == 1
+    });
+    service.quiesce();
+    let outcome = service.client().run(req).unwrap();
+    assert_eq!(
+        outcome.cache,
+        CacheOutcome::Hit,
+        "served from the resumed result"
+    );
+    assert_eq!(
+        outcome.artifact.to_pretty(),
+        unbroken.to_pretty(),
+        "resumed artifact must be byte-identical to the uninterrupted one"
+    );
+    assert!(!ckpt_path.exists(), "checkpoint retired on completion");
+    assert!(
+        !dir.join(format!("job-{key:016x}.json")).exists(),
+        "journal retired on completion"
+    );
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

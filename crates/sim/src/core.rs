@@ -152,6 +152,34 @@ impl Core {
         self.outstanding += 1;
     }
 
+    /// Snapshot of the private timing state, for checkpointing:
+    /// `(halted, hung, busy, outstanding, bubble)`.
+    pub(crate) fn timing_snapshot(&self) -> (bool, bool, u32, u32, u32) {
+        (
+            self.halted,
+            self.hung,
+            self.busy,
+            self.outstanding,
+            self.bubble,
+        )
+    }
+
+    /// Restores the private timing state from a checkpoint.
+    pub(crate) fn restore_timing(
+        &mut self,
+        halted: bool,
+        hung: bool,
+        busy: u32,
+        outstanding: u32,
+        bubble: u32,
+    ) {
+        self.halted = halted;
+        self.hung = hung;
+        self.busy = busy;
+        self.outstanding = outstanding;
+        self.bubble = bubble;
+    }
+
     /// Completes a memory transaction, optionally writing `value` to `reg`.
     pub fn complete(&mut self, reg: Option<Reg>, value: u32) {
         if let Some(reg) = reg {

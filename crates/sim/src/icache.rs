@@ -134,6 +134,39 @@ impl ICache {
         self.stamps.fill(0);
     }
 
+    /// Snapshot of the mutable cache state, for checkpointing:
+    /// `(tags, stamps, clock, hits, misses)`. Geometry (`sets`, `ways`,
+    /// `line_words`) is rebuilt from configuration on restore.
+    pub(crate) fn state_snapshot(&self) -> (&[u32], &[u64], u64, u64, u64) {
+        (&self.tags, &self.stamps, self.clock, self.hits, self.misses)
+    }
+
+    /// Restores the mutable cache state from a checkpoint. Fails (with a
+    /// description) if the saved arrays do not match this cache's geometry.
+    pub(crate) fn restore_state(
+        &mut self,
+        tags: Vec<u32>,
+        stamps: Vec<u64>,
+        clock: u64,
+        hits: u64,
+        misses: u64,
+    ) -> Result<(), String> {
+        if tags.len() != self.tags.len() || stamps.len() != self.stamps.len() {
+            return Err(format!(
+                "icache geometry mismatch: saved {}/{} entries, cache holds {}",
+                tags.len(),
+                stamps.len(),
+                self.tags.len()
+            ));
+        }
+        self.tags = tags;
+        self.stamps = stamps;
+        self.clock = clock;
+        self.hits = hits;
+        self.misses = misses;
+        Ok(())
+    }
+
     /// Hit count so far.
     pub fn hits(&self) -> u64 {
         self.hits

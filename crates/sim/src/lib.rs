@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod cluster;
 pub mod core;
 pub(crate) mod engine;
@@ -62,6 +63,7 @@ pub mod params;
 pub mod stats;
 pub mod trace;
 
+pub use ckpt::{run_with_checkpoints, CheckpointError, Checkpointer, CHECKPOINT_SCHEMA};
 pub use cluster::{Cluster, SimError};
 pub use offchip::OffchipPort;
 pub use params::{default_threads, set_default_threads, SimParams, ENGINE_VERSION};

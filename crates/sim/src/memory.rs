@@ -293,6 +293,69 @@ impl Storage {
         Ok(())
     }
 
+    /// Checkpoint accessor: the flat main SPM array.
+    pub(crate) fn spm_words(&self) -> &[u32] {
+        &self.spm
+    }
+
+    /// Checkpoint accessor: the flat spare-bank array.
+    pub(crate) fn spare_words(&self) -> &[u32] {
+        &self.spare
+    }
+
+    /// Checkpoint accessor: spare banks provisioned per tile.
+    pub(crate) fn spares_per_tile(&self) -> u32 {
+        self.spares_per_tile
+    }
+
+    /// Checkpoint accessor: external memory as `(word_offset, value)`
+    /// pairs sorted by offset, for a deterministic serialization order.
+    pub(crate) fn external_entries(&self) -> Vec<(u64, u32)> {
+        let mut entries: Vec<(u64, u32)> = self.external.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        entries
+    }
+
+    /// Restores the mutable storage contents from a checkpoint. The remap
+    /// table must already have been re-established (via
+    /// [`Self::provision_spares`] / [`Self::remap_bank`]) so the spare
+    /// array has its final size; contents are then overwritten wholesale.
+    ///
+    /// # Errors
+    ///
+    /// Fails (with a description) if the saved arrays do not match this
+    /// storage's geometry.
+    pub(crate) fn restore_contents(
+        &mut self,
+        spm: Vec<u32>,
+        spare: Vec<u32>,
+        external: Vec<(u64, u32)>,
+        touches: u64,
+    ) -> Result<(), String> {
+        if spm.len() != self.spm.len() {
+            return Err(format!(
+                "spm size mismatch: saved {} words, storage holds {}",
+                spm.len(),
+                self.spm.len()
+            ));
+        }
+        if spare.len() != self.spare.len() {
+            return Err(format!(
+                "spare size mismatch: saved {} words, storage holds {}",
+                spare.len(),
+                self.spare.len()
+            ));
+        }
+        self.spm = spm;
+        self.spare = spare;
+        self.external = external
+            .into_iter()
+            .filter(|&(_, v)| v != 0)
+            .collect::<HashMap<u64, u32>>();
+        self.touches.store(touches, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Reads a word from external memory by byte offset (must be aligned).
     pub fn read_external_word(&self, offset: u64) -> u32 {
         debug_assert_eq!(offset % 4, 0);

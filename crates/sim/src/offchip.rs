@@ -77,6 +77,14 @@ impl OffchipPort {
     pub fn total_cycles(&self) -> u64 {
         self.total_cycles
     }
+
+    /// Restores the mutable port state from a checkpoint (bandwidth and
+    /// latency are rebuilt from [`SimParams`](crate::SimParams)).
+    pub(crate) fn restore_state(&mut self, busy_until: u64, total_bytes: u64, total_cycles: u64) {
+        self.busy_until = busy_until;
+        self.total_bytes = total_bytes;
+        self.total_cycles = total_cycles;
+    }
 }
 
 #[cfg(test)]
