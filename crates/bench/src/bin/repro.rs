@@ -69,6 +69,7 @@ fn usage() -> ExitCode {
          \x20            [all|table1|table2|fig6|fig7|fig8|fig9|ablations|area|claims|cluster|dse|layout]...\n\
          \x20      repro diff BASELINE.json CANDIDATE.json\n\
          \x20      repro check --baseline PATH [--bless]\n\
+         \x20      repro perf\n\
          \x20      repro serve [--listen HOST:PORT] [--workers N] [--max-queue N]\n\
          \x20                  [--cache-dir DIR] [--flight N]\n\
          \x20      repro submit --connect HOST:PORT [--threads N] [--artifacts DIR]\n\
@@ -108,6 +109,8 @@ fn usage() -> ExitCode {
          check                regenerate the pinned summary and compare it to\n\
                               --baseline PATH (same exit codes); --bless\n\
                               rewrites the baseline instead\n\
+         perf                 run the sized engine-throughput probe alone and\n\
+                              fail (exit 1) if parallel_speedup < 1.0\n\
          serve                run the experiment service daemon: a bounded\n\
                               worker pool behind a newline-delimited JSON TCP\n\
                               protocol with request coalescing and a\n\
@@ -350,6 +353,38 @@ fn cmd_check(args: &[String]) -> ExitCode {
         println!("check passed against {baseline_path}");
         ExitCode::SUCCESS
     }
+}
+
+/// `repro perf` — runs the sized engine-throughput probe alone and gates
+/// on the `parallel_speedup` hard floor: a parallel engine slower than
+/// sequential exits 1. This is the CI perf smoke step (seconds, not a
+/// full figure run).
+fn cmd_perf(args: &[String]) -> ExitCode {
+    if let Some(other) = args.first() {
+        eprintln!("repro perf: unexpected argument {other:?}");
+        return usage();
+    }
+    eprintln!("running the engine-throughput probe ...");
+    let probe = mempool_bench::perf_probe();
+    println!("{}", probe.to_pretty());
+    let speedup = probe
+        .get("parallel_speedup")
+        .and_then(|v| match v {
+            Json::Float(f) => Some(*f),
+            Json::Int(n) => Some(*n as f64),
+            _ => None,
+        })
+        .unwrap_or(f64::NAN);
+    // NaN (a malformed probe) must fail the gate, not sneak past it.
+    if speedup.is_nan() || speedup < 1.0 {
+        eprintln!(
+            "repro perf: parallel_speedup = {speedup} is below the 1.0 hard floor \
+             (the parallel engine must not be slower than sequential)"
+        );
+        return ExitCode::from(EXIT_REGRESSION);
+    }
+    eprintln!("perf gate passed: parallel_speedup = {speedup:.2}");
+    ExitCode::SUCCESS
 }
 
 /// `repro serve ...` — runs the experiment-service daemon until a client
@@ -633,6 +668,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("diff") => return cmd_diff(&args[1..]),
         Some("check") => return cmd_check(&args[1..]),
+        Some("perf") => return cmd_perf(&args[1..]),
         Some("serve") => return cmd_serve(&args[1..]),
         Some("submit") => return cmd_submit(&args[1..]),
         _ => {}

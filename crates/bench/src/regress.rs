@@ -71,6 +71,10 @@ const RULES: &[Rule] = &[
     ignore("wall_clock"),
     ignore("artifacts"),
     ignore("timestamp"),
+    // How many workers the probe's parallel leg really ran is a host
+    // property (CPU count), not a result — a 2-CPU runner and a 16-CPU
+    // workstation must both pass against the same baseline.
+    ignore("parallel_workers"),
     // Host-throughput metrics (simulated cycles per wall-clock second and
     // the parallel-engine speedup) are real measurements, so they are
     // gated — but against scheduler noise on shared CI runners, only a
@@ -100,6 +104,21 @@ fn policy_for(path: &str) -> &'static Rule {
         .iter()
         .find(|r| path.contains(r.needle))
         .expect("the catch-all rule matches every path")
+}
+
+/// Absolute floors enforced on the *candidate* regardless of what the
+/// baseline says, matched by substring against the dotted path. A
+/// parallel engine slower than sequential must never ship silently again
+/// (it did once, as `parallel_speedup: 0.098`): once any thread count
+/// above one is probed, a speedup below 1.0 is a hard failure even if
+/// the blessed baseline also carried one.
+const FLOORS: &[(&str, f64)] = &[("parallel_speedup", 1.0)];
+
+fn floor_for(path: &str) -> Option<f64> {
+    FLOORS
+        .iter()
+        .find(|(needle, _)| path.contains(needle))
+        .map(|&(_, floor)| floor)
 }
 
 /// One compared metric whose change exceeded its tolerance.
@@ -283,12 +302,25 @@ pub fn compare(baseline: &Json, candidate: &Json) -> Comparison {
             None => result.within += 1,
         }
     }
-    for (path, _) in &cand {
+    for (path, value) in &cand {
         if policy_for(path).ignore {
             continue;
         }
         if !base.iter().any(|(p, _)| p == path) {
             result.added.push(path.clone());
+        }
+        // Baseline-independent hard floors: report the shortfall as a
+        // regression against the floor itself (tolerance 0).
+        if let Some(floor) = floor_for(path) {
+            if value.is_finite() && *value < floor {
+                result.regressions.push(Delta {
+                    path: format!("{path} (hard floor)"),
+                    baseline: floor,
+                    candidate: *value,
+                    relative: (*value - floor) / floor.abs().max(ABS_EPSILON),
+                    tolerance: 0.0,
+                });
+            }
         }
     }
     result
@@ -424,15 +456,39 @@ mod tests {
                 ]),
             )])
         };
-        let base = perf(1e6, 1.0);
+        let base = perf(1e6, 2.0);
         // Moderate slowdowns are scheduler noise, not regressions; a
         // collapse below the lenient tolerance fails.
-        assert!(!compare(&base, &perf(0.5e6, 0.9)).is_regression());
-        assert!(compare(&base, &perf(0.2e6, 0.9)).is_regression());
-        assert!(compare(&base, &perf(0.9e6, 0.2)).is_regression());
+        assert!(!compare(&base, &perf(0.5e6, 1.8)).is_regression());
+        assert!(compare(&base, &perf(0.2e6, 1.8)).is_regression());
+        assert!(compare(&base, &perf(0.9e6, 0.4)).is_regression());
         // Getting faster is never a regression — the lenient LowerIsWorse
         // rules must shadow the strict HigherIsWorse "cycle" rule.
         assert!(!compare(&base, &perf(5e6, 3.0)).is_regression());
+    }
+
+    #[test]
+    fn parallel_speedup_has_a_baseline_independent_hard_floor() {
+        let perf = |speedup: f64| {
+            Json::obj([(
+                "perf",
+                Json::obj([("parallel_speedup", Json::Float(speedup))]),
+            )])
+        };
+        // A candidate below 1.0 fails even when the blessed baseline was
+        // also below 1.0 (the lenient relative rule alone would pass it).
+        let bad_base = perf(0.9);
+        let cmp = compare(&bad_base, &perf(0.95));
+        assert!(cmp.is_regression());
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|d| d.path.contains("hard floor")),
+            "the shortfall must be reported against the floor: {cmp:?}"
+        );
+        // At or above the floor the absolute gate is silent.
+        assert!(!compare(&bad_base, &perf(1.0)).is_regression());
+        assert!(!compare(&perf(2.0), &perf(1.2)).is_regression());
     }
 
     #[test]

@@ -539,8 +539,8 @@ impl Cluster {
                 Json::Arr(
                     self.storage
                         .external_entries()
-                        .into_iter()
-                        .map(|(offset, value)| {
+                        .iter()
+                        .map(|&(offset, value)| {
                             Json::Arr(vec![Json::Int(offset as i64), Json::Int(i64::from(value))])
                         })
                         .collect(),

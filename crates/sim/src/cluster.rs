@@ -303,6 +303,14 @@ pub struct Cluster {
     pub(crate) scratches: Vec<TileScratch>,
     /// Per-tick F2F link-health snapshot for the engine's local phase.
     pub(crate) links: LinkSnapshot,
+    /// Preallocated buffers for the quantum engine's hot path (mailboxes,
+    /// worker lanes, boundary scratch), reused across ticks and runs.
+    pub(crate) quantum: engine::QuantumArena,
+    /// When set, [`Cluster::run`] skips the host-parallelism clamp and
+    /// spawns exactly [`Cluster::threads`] workers even on a host with
+    /// fewer CPUs. Transient (never serialized); the equivalence tests use
+    /// it so the concurrent protocol is really exercised on small hosts.
+    pub(crate) oversubscribe: bool,
 }
 
 impl Cluster {
@@ -343,6 +351,8 @@ impl Cluster {
             flight_enabled: false,
             scratches: (0..num_tiles).map(|_| TileScratch::default()).collect(),
             links: LinkSnapshot::default(),
+            quantum: engine::QuantumArena::default(),
+            oversubscribe: false,
         }
     }
 
@@ -362,6 +372,29 @@ impl Cluster {
             .threads
             .max(1)
             .min(self.config.num_tiles() as usize)
+    }
+
+    /// The worker count [`Cluster::run`] will actually use: [`Cluster::threads`]
+    /// further clamped to the host's available parallelism. Oversubscribing
+    /// a host (e.g. 4 spinning workers on 1 CPU) only adds scheduler
+    /// thrash, and results are bit-identical at every worker count, so the
+    /// clamp is invisible except in wall-clock time.
+    pub fn effective_workers(&self) -> usize {
+        if self.oversubscribe {
+            self.threads()
+        } else {
+            self.threads().min(engine::host_parallelism())
+        }
+    }
+
+    /// Disables the host-parallelism clamp of [`Cluster::effective_workers`]
+    /// so a run really spawns [`Cluster::threads`] workers. Only useful to
+    /// tests that must exercise the concurrent engine protocol on hosts
+    /// with fewer CPUs than the probed thread count; never changes results
+    /// (they are bit-identical at every worker count), only wall-clock.
+    #[doc(hidden)]
+    pub fn force_oversubscribe(&mut self) {
+        self.oversubscribe = true;
     }
 
     /// Attaches an observability handle. The cluster records DMA transfers
@@ -998,7 +1031,15 @@ impl Cluster {
     /// any fault raised while stepping.
     #[must_use = "a run can fail with a SimError that must not be ignored"]
     pub fn run(&mut self, max_cycles: u64) -> Result<u64, SimError> {
-        let threads = self.threads();
+        let threads = self.effective_workers();
+        if self.bare() && threads > 1 {
+            // Uninstrumented multi-worker run: the arena-backed quantum
+            // engine, bit-identical to `step` at any worker count. With
+            // one effective worker the plain sequential loop below is the
+            // faster engine (no mailbox/lockstep bookkeeping), so the
+            // quantum path is reserved for real parallelism.
+            return engine::run_quantum(self, max_cycles, threads);
+        }
         if threads > 1 {
             return engine::run_parallel(self, max_cycles, threads);
         }
@@ -1010,6 +1051,30 @@ impl Cluster {
             self.step()?;
         }
         Ok(self.cycle)
+    }
+
+    /// Whether this cluster is *bare* — no fault controller, watchdog,
+    /// trace, flight ring, observability, sampler, or spare-bank remaps —
+    /// so [`Cluster::run`] may take the quantum engine's hot path. Each of
+    /// those facilities hooks the per-tick sequential phases, which the
+    /// quantum engine batches away.
+    fn bare(&self) -> bool {
+        self.faults.is_none()
+            && self.watchdog.is_none()
+            && self.trace.is_none()
+            && self.obs.is_none()
+            && self.sampler.is_none()
+            && !self.flight_enabled
+            && self.storage.spares_per_tile() == 0
+    }
+
+    /// Total reserved capacity (entries) across the quantum engine's
+    /// preallocated buffers. Exposed for the arena-invariant tests, which
+    /// assert the footprint stops growing once a workload reaches steady
+    /// state.
+    #[doc(hidden)]
+    pub fn engine_arena_footprint(&self) -> u64 {
+        self.quantum.footprint()
     }
 
     /// Collects a snapshot of all statistics.

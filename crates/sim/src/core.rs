@@ -101,6 +101,7 @@ impl Core {
 
     /// Whether the core is idle this cycle due to a bubble; decrements the
     /// bubble counter.
+    #[inline]
     pub fn consume_bubble(&mut self) -> bool {
         if self.bubble > 0 {
             self.bubble -= 1;
@@ -117,6 +118,7 @@ impl Core {
 
     /// Checks whether `instr` can issue under the scoreboard, given the
     /// outstanding-transaction limit.
+    #[inline]
     pub fn check_issue(&self, instr: Instr, max_outstanding: u32) -> Result<(), Stall> {
         for reg in instr.src_regs().into_iter().flatten() {
             if self.is_busy(reg) {

@@ -38,10 +38,12 @@
 //! count.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
-use mempool_arch::{ClusterConfig, GlobalCoreId, LatencyModel, MemoryRegion, TileId, Topology};
+use mempool_arch::{
+    AddressMap, ClusterConfig, GlobalCoreId, LatencyModel, MemoryRegion, TileId, Topology,
+};
 use mempool_fault::{
     CoreDiagnostic, DeadLinkPolicy, EccOutcome, FaultController, LinkState, TimedFault, Watchdog,
 };
@@ -54,7 +56,7 @@ use crate::cluster::{
 };
 use crate::core::{Core, Stall};
 use crate::icache::ICache;
-use crate::memory::Storage;
+use crate::memory::{decode_region, Storage};
 use crate::offchip::OffchipPort;
 use crate::params::SimParams;
 use crate::trace::{Trace, TraceEntry};
@@ -1109,4 +1111,812 @@ pub(crate) fn run_parallel(
         start.wait();
         result
     })
+}
+
+// ---------------------------------------------------------------------------
+// The quantum engine: arena-backed, tile-sharded fast path.
+// ---------------------------------------------------------------------------
+//
+// `run_parallel` above synchronizes three times per simulated cycle through
+// futex-backed barriers and funnels every bank service through the main
+// thread, which is why the first parallel engine was *slower* than the
+// sequential one. The quantum engine removes both costs for uninstrumented
+// runs (no fault controller, watchdog, trace, flight ring, observability, or
+// sampler attached — [`Cluster::run`] checks eligibility):
+//
+// * **Static tile→thread ownership.** Tiles are split into contiguous,
+//   per-worker shards ([`TileShard`]): a worker owns its tiles' cores, I$,
+//   response queues, *banks*, and SPM words outright, so both the bank
+//   service and the local phase run inside the worker with plain `&mut`
+//   indexing — no per-tile mutex handoff, no sequential serve.
+// * **Arena-backed mailboxes.** All cross-tile traffic (bank pushes and
+//   responses) flows through preallocated per-tile inboxes double-buffered
+//   by tick parity, reused across ticks and quanta ([`QuantumArena`]). A
+//   sender tags entries with its source tile and the receiver applies them
+//   sorted by that tag, which reproduces the sequential commit's
+//   tile-index drain order exactly — the bank-queue contents evolve
+//   bit-identically at every worker count.
+// * **Amortized synchronization.** Workers run in per-tick lockstep via
+//   padded atomic progress counters (spin-then-yield, no futexes) and only
+//   meet the main thread at *quantum* boundaries every `QUANTUM_TICKS`
+//   cycles, where deferred off-chip accesses are resolved in canonical
+//   `(tick, tile)` order, the touch counters merge, and quiescence /
+//   timeout / errors are settled. An off-chip access issued mid-quantum
+//   shortens the quantum (`fetch_min` on the shared stop tick) so its
+//   response is always enqueued before the cycle it is due.
+//
+// Determinism contract: because requests enter every bank queue in the
+// sequential engine's order, responses are delivered by due-cycle (never
+// by queue position), and boundary work happens in `(tick, tile)` order,
+// the quantum engine is bit-identical to `Cluster::step` at any worker
+// count — `tests/engine_equivalence.rs` holds the proof obligations.
+
+/// Ticks per quantum when nothing shortens it: large enough to amortize
+/// per-quantum thread spawn and boundary work down to noise, small enough
+/// to keep quiescence-overshoot rollback work trivial.
+const QUANTUM_TICKS: u64 = 1024;
+
+/// The host's available parallelism (CPUs this process may use), `1` if
+/// the platform cannot tell. Worker counts are clamped to this by default:
+/// spinning lockstep workers beyond the CPU count only thrash the
+/// scheduler, and results are bit-identical at every worker count anyway.
+pub(crate) fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A cache-line-padded progress counter, one per worker, holding
+/// `completed_tick + 1` with release/acquire ordering.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct PaddedCounter(AtomicU64);
+
+/// Cross-tile traffic addressed to one tile, double-buffered by tick
+/// parity. Entries are `(source tile, local index, payload)`; the
+/// receiver applies them sorted by source tile, reproducing the
+/// sequential engine's commit drain order.
+#[derive(Debug, Default)]
+pub(crate) struct Inbox {
+    /// Bank-queue pushes: `(src tile, bank index within dest tile, access)`.
+    pushes: Vec<(u32, u32, PendingAccess)>,
+    /// Responses: `(src tile, core index within dest tile, response)`.
+    responses: Vec<(u32, u32, Response)>,
+}
+
+/// One inbox plus its lock-free "worth locking?" flag. Senders set the
+/// flag after publishing; a receiver that finds it clear skips the mutex
+/// entirely (idle tiles pay two atomic ops per tick, nothing more).
+#[derive(Debug, Default)]
+pub(crate) struct InboxSlot {
+    nonempty: AtomicBool,
+    data: Mutex<Inbox>,
+}
+
+/// Per-worker scratch, preallocated and reused across ticks and quanta.
+#[derive(Debug)]
+pub(crate) struct WorkerLane {
+    /// Outgoing bank pushes, one buffer per destination tile
+    /// (`(src tile, bank local, access)`), drained into inboxes each tick.
+    push_out: Vec<Vec<(u32, u32, PendingAccess)>>,
+    /// Outgoing responses, one buffer per destination tile.
+    resp_out: Vec<Vec<(u32, u32, Response)>>,
+    /// Off-chip intents issued this quantum: `(tick, tile, intent)`, in
+    /// issue order (ticks ascending, tiles ascending within a tick).
+    externals: Vec<(u64, u32, ExternalIntent)>,
+    /// SPM words touched by this worker's shards this quantum (merged
+    /// into the shared counter at the boundary).
+    touches: u64,
+    /// Cycle since which every owned tile has been continuously inert
+    /// (halted cores, empty queues, nothing outstanding); `u64::MAX`
+    /// while any tile is active. Drives exact quiescence rollback.
+    inert_since: u64,
+    /// First `(tick, tile, error)` this worker hit, by sweep order.
+    error: Option<(u64, u32, SimError)>,
+}
+
+impl WorkerLane {
+    fn new(num_tiles: usize) -> Self {
+        WorkerLane {
+            push_out: (0..num_tiles).map(|_| Vec::new()).collect(),
+            resp_out: (0..num_tiles).map(|_| Vec::new()).collect(),
+            externals: Vec::new(),
+            touches: 0,
+            inert_since: u64::MAX,
+            error: None,
+        }
+    }
+}
+
+/// All quantum-engine buffers, owned by the cluster so capacity survives
+/// across ticks, quanta, and whole runs (the slab/arena the hot path
+/// reuses instead of allocating).
+#[derive(Debug, Default)]
+pub(crate) struct QuantumArena {
+    /// Per-tile mailboxes, double-buffered by tick parity.
+    inboxes: Vec<[InboxSlot; 2]>,
+    /// Per-worker progress counters (index = worker lane).
+    progress: Vec<PaddedCounter>,
+    /// Per-worker scratch lanes. Sized to the largest worker count seen;
+    /// a run uses the first `workers` lanes.
+    lanes: Vec<WorkerLane>,
+    /// Boundary scratch: the merged off-chip intent log.
+    ext_merge: Vec<(u64, u32, ExternalIntent)>,
+}
+
+impl QuantumArena {
+    /// Grows (never shrinks) the arena for a cluster of `num_tiles` tiles
+    /// run on `workers` worker lanes.
+    fn ensure(&mut self, num_tiles: usize, workers: usize) {
+        while self.inboxes.len() < num_tiles {
+            self.inboxes.push(Default::default());
+        }
+        while self.progress.len() < workers {
+            self.progress.push(PaddedCounter::default());
+        }
+        while self.lanes.len() < workers {
+            self.lanes.push(WorkerLane::new(num_tiles));
+        }
+    }
+
+    /// Total reserved capacity (entries) across every arena buffer —
+    /// the steady-state invariant tests assert this stops growing after
+    /// warmup.
+    pub(crate) fn footprint(&self) -> u64 {
+        let inbox: usize = self
+            .inboxes
+            .iter()
+            .flat_map(|pair| pair.iter())
+            .map(|slot| {
+                let inbox = slot.data.lock().expect("inbox lock");
+                inbox.pushes.capacity() + inbox.responses.capacity()
+            })
+            .sum();
+        let lanes: usize = self
+            .lanes
+            .iter()
+            .map(|lane| {
+                lane.externals.capacity()
+                    + lane.push_out.iter().map(Vec::capacity).sum::<usize>()
+                    + lane.resp_out.iter().map(Vec::capacity).sum::<usize>()
+            })
+            .sum();
+        (inbox + lanes + self.ext_merge.capacity()) as u64
+    }
+}
+
+/// Immutable context shared by every quantum worker.
+#[derive(Debug)]
+struct BareCtx<'a> {
+    config: &'a ClusterConfig,
+    topo: &'a Topology,
+    params: &'a SimParams,
+    program: &'a Program,
+    map: &'a AddressMap,
+    cores_per_tile: usize,
+    banks_per_tile: usize,
+    bank_words: usize,
+    num_tiles: usize,
+    /// Ticks an issued off-chip access holds the quantum open for:
+    /// `max(1, offchip_latency)` keeps every boundary ahead of the
+    /// earliest possible response due-cycle.
+    ext_hold: u64,
+}
+
+/// The state one worker owns exclusively for one tile: cores, response
+/// queues, I$, banks, and the tile's SPM words (identity-resolved — the
+/// eligibility check rules out spare-bank remaps).
+#[derive(Debug)]
+struct TileShard<'a> {
+    tile: u32,
+    cores: &'a mut [Core],
+    responses: &'a mut [Vec<Response>],
+    icache: &'a mut ICache,
+    banks: &'a mut [Bank],
+    spm: &'a mut [u32],
+}
+
+impl TileShard<'_> {
+    /// Whether this tile is inert: every core halted with nothing
+    /// outstanding and every queue drained (the per-tile restriction of
+    /// [`Cluster::quiescent`]).
+    fn inert(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|c| c.halted() && c.outstanding() == 0)
+            && self.responses.iter().all(Vec::is_empty)
+            && self.banks.iter().all(|b| b.queue.is_empty())
+    }
+}
+
+/// Serves every bank of one tile for tick `now`: earliest arrival
+/// strictly in the past wins, FIFO among ties — the exact discipline of
+/// [`serve_banks`], minus the fault/ECC/flight arms that cannot trigger
+/// on the bare path.
+fn serve_tile_bare(ctx: &BareCtx<'_>, shard: &mut TileShard<'_>, lane: &mut WorkerLane, now: u64) {
+    for bank in shard.banks.iter_mut() {
+        bank.stats.max_queue_depth = bank.stats.max_queue_depth.max(bank.queue.len() as u64);
+        let mut best: Option<usize> = None;
+        let mut contenders = 0;
+        for (i, access) in bank.queue.iter().enumerate() {
+            if access.arrival < now {
+                contenders += 1;
+                let better = match best {
+                    None => true,
+                    Some(b) => access.arrival < bank.queue[b].arrival,
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        let Some(index) = best else { continue };
+        if contenders > 1 {
+            bank.stats.conflicts += (contenders - 1) as u64;
+        }
+        let access = bank.queue.swap_remove(index);
+        bank.stats.served += 1;
+        debug_assert_eq!(access.loc.tile.0, shard.tile, "banks are tile-owned");
+        let word = access.loc.bank.index() * ctx.bank_words + access.loc.word as usize;
+        let old_word = shard.spm[word];
+        lane.touches += 1;
+        let shift = (access.addr & 3) * 8;
+        let response_value = match access.kind {
+            MemAccessKind::Load { width, .. } => match width {
+                MemWidth::Byte => (old_word >> shift) & 0xff,
+                MemWidth::Half => (old_word >> shift) & 0xffff,
+                MemWidth::Word => old_word,
+            },
+            MemAccessKind::Store { width, value } => {
+                let new = match width {
+                    MemWidth::Byte => (old_word & !(0xff << shift)) | ((value & 0xff) << shift),
+                    MemWidth::Half => (old_word & !(0xffff << shift)) | ((value & 0xffff) << shift),
+                    MemWidth::Word => value,
+                };
+                shard.spm[word] = new;
+                lane.touches += 1;
+                0
+            }
+            MemAccessKind::Amo { op, value, .. } => {
+                shard.spm[word] = op.apply(old_word, value);
+                lane.touches += 1;
+                old_word
+            }
+        };
+        let response = Response {
+            due: now + access.resp_latency as u64,
+            reg: access.kind.response_reg(),
+            value: sign_adjust(access.kind, response_value),
+        };
+        let dest_tile = access.core as usize / ctx.cores_per_tile;
+        let dest_local = (access.core as usize % ctx.cores_per_tile) as u32;
+        if dest_tile == shard.tile as usize {
+            shard.responses[dest_local as usize].push(response);
+        } else {
+            lane.resp_out[dest_tile].push((shard.tile, dest_local, response));
+        }
+    }
+}
+
+/// The local phase of one tile for tick `now` on the bare path: deliver
+/// due responses, then issue at most one instruction per core — the
+/// logic of [`local_tile`] minus link/trace/observability arms. Bank
+/// pushes are routed per destination tile (the canonical order the
+/// inboxes restore); off-chip intents land in the lane's tick-tagged log
+/// and shorten the quantum via `stop_at`.
+fn local_tile_bare(
+    ctx: &BareCtx<'_>,
+    shard: &mut TileShard<'_>,
+    lane: &mut WorkerLane,
+    stop_at: &AtomicU64,
+    now: u64,
+) {
+    for (core, responses) in shard.cores.iter_mut().zip(shard.responses.iter_mut()) {
+        let mut i = 0;
+        while i < responses.len() {
+            if responses[i].due <= now {
+                let r = responses.swap_remove(i);
+                core.complete(r.reg, r.value);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    let tile = TileId(shard.tile);
+    let base = shard.tile as usize * ctx.cores_per_tile;
+    let mut remote_issued = 0u32;
+    'issue: for local in 0..shard.cores.len() {
+        let index = base + local;
+        let core_id = GlobalCoreId::new(index as u32);
+        let core = &mut shard.cores[local];
+        if core.hung() {
+            core.stats.halted_cycles += 1;
+            continue;
+        }
+        if core.halted() {
+            core.stats.halted_cycles += 1;
+            continue;
+        }
+        if core.consume_bubble() {
+            continue;
+        }
+        let pc = core.pc;
+        if !shard.icache.access(pc) {
+            let penalty = ctx.params.icache_miss_penalty;
+            core.insert_bubble(penalty);
+            core.stats.stall_icache += penalty as u64;
+            core.stats.icache_misses += 1;
+            continue;
+        }
+        let Some(instr) = ctx.program.fetch(pc) else {
+            if lane.error.is_none() {
+                lane.error = Some((
+                    now,
+                    shard.tile,
+                    SimError::PcOutOfRange { core: core_id, pc },
+                ));
+                stop_at.fetch_min(now + 1, Ordering::AcqRel);
+            }
+            break 'issue;
+        };
+        match core.check_issue(instr, ctx.params.max_outstanding) {
+            Err(Stall::Scoreboard) => {
+                core.stats.stall_scoreboard += 1;
+                continue;
+            }
+            Err(Stall::Structural) => {
+                core.stats.stall_structural += 1;
+                continue;
+            }
+            Ok(()) => {}
+        }
+        if let Some(addr) = mem_probe_addr(instr, &core.regs) {
+            if let MemoryRegion::Spm(loc) = ctx.map.locate(addr & !3) {
+                if loc.tile != tile {
+                    if remote_issued >= ctx.config.remote_ports_per_tile() {
+                        core.stats.stall_structural += 1;
+                        continue;
+                    }
+                    remote_issued += 1;
+                }
+            }
+        }
+        core.stats.retired += 1;
+        match exec::issue(instr, pc, &mut core.regs, index as u32) {
+            Issue::Next { pc: next } => {
+                if next != pc.wrapping_add(4) && ctx.params.taken_branch_penalty > 0 {
+                    core.insert_bubble(ctx.params.taken_branch_penalty);
+                    core.stats.stall_branch += ctx.params.taken_branch_penalty as u64;
+                }
+                core.pc = next;
+            }
+            Issue::Halt => {
+                core.halt();
+            }
+            Issue::Mem { req, next_pc } => {
+                core.pc = next_pc;
+                let width = match req.kind {
+                    MemAccessKind::Load { width, .. } | MemAccessKind::Store { width, .. } => width,
+                    MemAccessKind::Amo { .. } => MemWidth::Word,
+                };
+                let region = match decode_region(ctx.map, req.addr, width) {
+                    Ok(region) => region,
+                    Err(e) => {
+                        if lane.error.is_none() {
+                            lane.error = Some((now, shard.tile, e.into()));
+                            stop_at.fetch_min(now + 1, Ordering::AcqRel);
+                        }
+                        break 'issue;
+                    }
+                };
+                match region {
+                    MemoryRegion::Spm(loc) => {
+                        let class = LatencyModel::classify(ctx.config, tile, loc.tile);
+                        core.stats
+                            .record_access(class, ctx.topo.route(tile, loc.tile).network);
+                        core.mark_pending(req.kind.response_reg());
+                        let (req_lat, resp_lat) = latency_split(&ctx.params.latency, class);
+                        let bank = loc.global_bank(ctx.config);
+                        let dest_tile = bank.index() / ctx.banks_per_tile;
+                        let bank_local = (bank.index() % ctx.banks_per_tile) as u32;
+                        lane.push_out[dest_tile].push((
+                            shard.tile,
+                            bank_local,
+                            PendingAccess {
+                                arrival: now + req_lat as u64,
+                                core: index as u32,
+                                loc,
+                                kind: req.kind,
+                                resp_latency: resp_lat,
+                                addr: req.addr,
+                            },
+                        ));
+                    }
+                    MemoryRegion::External(_) => {
+                        core.mark_pending(req.kind.response_reg());
+                        lane.externals.push((
+                            now,
+                            shard.tile,
+                            ExternalIntent {
+                                core: index as u32,
+                                addr: req.addr,
+                                kind: req.kind,
+                                width,
+                            },
+                        ));
+                        stop_at.fetch_min(now + ctx.ext_hold, Ordering::AcqRel);
+                    }
+                    MemoryRegion::Unmapped => unreachable!("decode rejects unmapped"),
+                }
+            }
+        }
+    }
+}
+
+/// One worker's quantum: lockstepped ticks from `start` until the shared
+/// stop tick, over its owned shards.
+#[allow(clippy::too_many_arguments)]
+fn quantum_worker(
+    ctx: &BareCtx<'_>,
+    progress: &[PaddedCounter],
+    stop_at: &AtomicU64,
+    inboxes: &[[InboxSlot; 2]],
+    shards: &mut [TileShard<'_>],
+    lane: &mut WorkerLane,
+    me: usize,
+    workers: usize,
+    start: u64,
+) {
+    // Re-establish the inert watermark: boundary work (flushes, off-chip
+    // responses) may have woken a tile since the last tick this lane ran.
+    if lane.inert_since != u64::MAX && !shards.iter().all(TileShard::inert) {
+        lane.inert_since = u64::MAX;
+    }
+    // On a host with a CPU per worker a peer is at most ~a tick of work
+    // away, so spin generously before ceding the core; an oversubscribed
+    // host (forced by tests) must yield immediately or the waited-on peer
+    // never gets scheduled.
+    let spin_budget: u32 = if workers > host_parallelism() {
+        0
+    } else {
+        4096
+    };
+    let mut t = start;
+    loop {
+        // Lockstep: proceed once every peer has finished tick `t - 1`.
+        // A peer publishes *after* its sends and stop-tick updates, so
+        // passing this gate also makes those visible.
+        if workers > 1 {
+            for (w, counter) in progress.iter().take(workers).enumerate() {
+                if w == me {
+                    continue;
+                }
+                let mut spins = 0u32;
+                while counter.0.load(Ordering::Acquire) < t {
+                    spins += 1;
+                    if spins < spin_budget {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        if t >= stop_at.load(Ordering::Acquire) {
+            break;
+        }
+        // Apply last tick's cross-tile traffic in canonical source order.
+        for shard in shards.iter_mut() {
+            let slot = &inboxes[shard.tile as usize][(t & 1) as usize];
+            if slot.nonempty.swap(false, Ordering::AcqRel) {
+                let mut inbox = slot.data.lock().expect("inbox lock");
+                inbox.pushes.sort_by_key(|&(src, _, _)| src);
+                for &(_, bank, access) in inbox.pushes.iter() {
+                    shard.banks[bank as usize].queue.push(access);
+                }
+                inbox.pushes.clear();
+                inbox.responses.sort_by_key(|&(src, _, _)| src);
+                for &(_, core, response) in inbox.responses.iter() {
+                    shard.responses[core as usize].push(response);
+                }
+                inbox.responses.clear();
+            }
+        }
+        // Serve own banks, then run the local phase, tile-ascending.
+        for shard in shards.iter_mut() {
+            serve_tile_bare(ctx, shard, lane, t);
+        }
+        let mut all_inert = true;
+        for shard in shards.iter_mut() {
+            local_tile_bare(ctx, shard, lane, stop_at, t);
+            all_inert &= shard.inert();
+        }
+        // Route this tick's outbound traffic into the `t + 1` inboxes.
+        for (dest, dest_slots) in inboxes.iter().enumerate().take(ctx.num_tiles) {
+            if lane.push_out[dest].is_empty() && lane.resp_out[dest].is_empty() {
+                continue;
+            }
+            let slot = &dest_slots[((t + 1) & 1) as usize];
+            {
+                let mut inbox = slot.data.lock().expect("inbox lock");
+                inbox.pushes.extend_from_slice(&lane.push_out[dest]);
+                inbox.responses.extend_from_slice(&lane.resp_out[dest]);
+            }
+            slot.nonempty.store(true, Ordering::Release);
+            lane.push_out[dest].clear();
+            lane.resp_out[dest].clear();
+        }
+        if all_inert {
+            if lane.inert_since == u64::MAX {
+                lane.inert_since = t + 1;
+            }
+        } else {
+            lane.inert_since = u64::MAX;
+        }
+        if workers > 1 {
+            progress[me].0.store(t + 1, Ordering::Release);
+        }
+        t += 1;
+    }
+}
+
+/// Resolves one deferred off-chip access at the quantum boundary —
+/// [`resolve_external`] against the reassembled cluster.
+fn resolve_external_bare(
+    storage: &mut Storage,
+    offchip: &mut OffchipPort,
+    tick: u64,
+    intent: &ExternalIntent,
+    responses: &mut Vec<Response>,
+) -> Result<(), SimError> {
+    let done = offchip.schedule(tick, intent.width.bytes() as u64);
+    let value = match intent.kind {
+        MemAccessKind::Load { .. } => storage.read(intent.addr, intent.width)?,
+        MemAccessKind::Store { value, .. } => {
+            storage.write(intent.addr, intent.width, value)?;
+            0
+        }
+        MemAccessKind::Amo { op, value, .. } => {
+            let old = storage.read(intent.addr, MemWidth::Word)?;
+            storage.write(intent.addr, MemWidth::Word, op.apply(old, value))?;
+            old
+        }
+    };
+    responses.push(Response {
+        due: done,
+        reg: intent.kind.response_reg(),
+        value: sign_adjust(intent.kind, value),
+    });
+    Ok(())
+}
+
+/// Runs one quantum: shards the cluster, drives the workers, then does
+/// the boundary work (inbox flush, off-chip resolution, error selection,
+/// touch merge, quiescence rollback). Returns `Ok(true)` when the
+/// cluster went quiescent.
+fn quantum_round(cluster: &mut Cluster, target: u64, threads: usize) -> Result<bool, SimError> {
+    let start = cluster.cycle;
+    let num_tiles = cluster.config.num_tiles() as usize;
+    let workers = threads.clamp(1, num_tiles);
+    cluster.quantum.ensure(num_tiles, workers);
+    let stop_at = AtomicU64::new(target);
+    {
+        let Cluster {
+            config,
+            topo,
+            params,
+            storage,
+            program,
+            cores,
+            icaches,
+            banks,
+            responses,
+            quantum,
+            ..
+        } = &mut *cluster;
+        let cpt = config.cores_per_tile() as usize;
+        let bpt = config.banks_per_tile() as usize;
+        let bank_words = config.bank_words() as usize;
+        let (spm, map) = storage.split_spm();
+        let ctx = BareCtx {
+            config,
+            topo,
+            params,
+            program,
+            map,
+            cores_per_tile: cpt,
+            banks_per_tile: bpt,
+            bank_words,
+            num_tiles,
+            ext_hold: (params.offchip_latency as u64).max(1),
+        };
+        let mut shards: Vec<TileShard<'_>> = cores
+            .chunks_mut(cpt)
+            .zip(responses.chunks_mut(cpt))
+            .zip(icaches.iter_mut())
+            .zip(banks.chunks_mut(bpt))
+            .zip(spm.chunks_mut(bpt * bank_words))
+            .enumerate()
+            .map(
+                |(tile, ((((cores, responses), icache), banks), spm))| TileShard {
+                    tile: tile as u32,
+                    cores,
+                    responses,
+                    icache,
+                    banks,
+                    spm,
+                },
+            )
+            .collect();
+        let QuantumArena {
+            inboxes,
+            progress,
+            lanes,
+            ..
+        } = quantum;
+        for counter in progress.iter().take(workers) {
+            counter.0.store(start, Ordering::Relaxed);
+        }
+        // Contiguous shard ranges, one per worker (same split as
+        // `run_parallel`); lane 0 runs on the calling thread.
+        let chunk = num_tiles / workers;
+        let rem = num_tiles % workers;
+        let (ctx, progress, inboxes, stop_at) = (&ctx, &progress[..], &inboxes[..], &stop_at);
+        std::thread::scope(|scope| {
+            let mut rest = shards.as_mut_slice();
+            let mut lanes_iter = lanes.iter_mut();
+            let mut lane_zero = None;
+            for w in 0..workers {
+                let len = chunk + usize::from(w < rem);
+                let (mine, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let lane = lanes_iter.next().expect("lane per worker");
+                if w == 0 {
+                    lane_zero = Some((mine, lane));
+                } else {
+                    scope.spawn(move || {
+                        quantum_worker(
+                            ctx, progress, stop_at, inboxes, mine, lane, w, workers, start,
+                        );
+                    });
+                }
+            }
+            // The calling thread is worker 0.
+            let (mine, lane) = lane_zero.expect("worker 0");
+            quantum_worker(
+                ctx, progress, stop_at, inboxes, mine, lane, 0, workers, start,
+            );
+        });
+    }
+    let reached = stop_at.into_inner();
+    quantum_boundary(cluster, reached, workers)
+}
+
+/// The boundary work after every worker has stopped at `reached`.
+fn quantum_boundary(cluster: &mut Cluster, reached: u64, workers: usize) -> Result<bool, SimError> {
+    let bpt = cluster.config.banks_per_tile() as usize;
+    let cpt = cluster.config.cores_per_tile() as usize;
+    // The winning error, keyed `(tick, tile, phase)` with off-chip
+    // resolution (phase 0) preceding issue errors (phase 1) within a
+    // tile — the sequential commit's drain order.
+    let mut winner: Option<(u64, u32, u32, SimError)> = None;
+    let mut note = |tick: u64, tile: u32, phase: u32, error: SimError| {
+        let better = match &winner {
+            None => true,
+            Some((t, ti, p, _)) => (tick, tile, phase) < (*t, *ti, *p),
+        };
+        if better {
+            winner = Some((tick, tile, phase, error));
+        }
+    };
+    {
+        let Cluster {
+            banks,
+            responses,
+            storage,
+            offchip,
+            quantum,
+            ..
+        } = &mut *cluster;
+        // Flush undelivered mailbox traffic (sent on the final tick) into
+        // the real queues, in the same canonical order a running tick
+        // would apply it.
+        for (tile, pair) in quantum.inboxes.iter_mut().enumerate() {
+            for slot in pair.iter_mut() {
+                slot.nonempty.store(false, Ordering::Relaxed);
+                let inbox = slot.data.get_mut().expect("inbox lock");
+                inbox.pushes.sort_by_key(|&(src, _, _)| src);
+                for &(_, bank, access) in inbox.pushes.iter() {
+                    banks[tile * bpt + bank as usize].queue.push(access);
+                }
+                inbox.pushes.clear();
+                inbox.responses.sort_by_key(|&(src, _, _)| src);
+                for &(_, core, response) in inbox.responses.iter() {
+                    responses[tile * cpt + core as usize].push(response);
+                }
+                inbox.responses.clear();
+            }
+        }
+        // Resolve deferred off-chip accesses in (tick, tile) order — the
+        // order the sequential commit would have resolved them — and
+        // merge the per-worker touch counts.
+        let mut ext = std::mem::take(&mut quantum.ext_merge);
+        ext.clear();
+        for lane in quantum.lanes.iter_mut().take(workers) {
+            ext.extend_from_slice(&lane.externals);
+            lane.externals.clear();
+            storage.add_touches(lane.touches);
+            lane.touches = 0;
+            if let Some((tick, tile, error)) = lane.error.take() {
+                note(tick, tile, 1, error);
+            }
+        }
+        ext.sort_by_key(|&(tick, tile, _)| (tick, tile));
+        for (tick, tile, intent) in ext.iter() {
+            if let Err(e) = resolve_external_bare(
+                storage,
+                offchip,
+                *tick,
+                intent,
+                &mut responses[intent.core as usize],
+            ) {
+                note(*tick, *tile, 0, e);
+            }
+        }
+        ext.clear();
+        quantum.ext_merge = ext;
+    }
+    if let Some((tick, _, _, error)) = winner {
+        // The sequential engine reports an error with the clock still on
+        // the tick that raised it.
+        cluster.cycle = tick;
+        return Err(error);
+    }
+    cluster.cycle = reached;
+    if cluster.quiescent() {
+        // The workers overshot the first quiescent cycle by up to a
+        // quantum of trivial all-halted ticks; roll those back so the
+        // result is bit-identical to the sequential engine, which stops
+        // the moment quiescence holds.
+        let t_q = cluster.quantum.lanes[..workers]
+            .iter()
+            .map(|lane| lane.inert_since)
+            .max()
+            .unwrap_or(u64::MAX);
+        if t_q < reached {
+            let overshoot = reached - t_q;
+            for core in &mut cluster.cores {
+                core.stats.halted_cycles -= overshoot;
+            }
+            cluster.cycle = t_q;
+        }
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+/// Runs an uninstrumented cluster on the quantum engine at any worker
+/// count (1 included — the lockstep degenerates to a plain loop), with
+/// results bit-identical to [`Cluster::step`].
+pub(crate) fn run_quantum(
+    cluster: &mut Cluster,
+    max_cycles: u64,
+    threads: usize,
+) -> Result<u64, SimError> {
+    let deadline = cluster.cycle.saturating_add(max_cycles);
+    loop {
+        if cluster.quiescent() {
+            return Ok(cluster.cycle);
+        }
+        if cluster.cycle >= deadline {
+            return Err(SimError::Timeout { cycles: max_cycles });
+        }
+        if cluster.program.is_empty() {
+            return Err(SimError::NoProgram);
+        }
+        let target = deadline.min(cluster.cycle + QUANTUM_TICKS);
+        if quantum_round(cluster, target, threads)? {
+            return Ok(cluster.cycle);
+        }
+    }
 }

@@ -95,6 +95,7 @@ impl ICache {
 
     /// Looks up `pc`. On a miss, the line is refilled (LRU way replaced)
     /// and `false` is returned; the caller charges the miss penalty.
+    #[inline]
     pub fn access(&mut self, pc: u32) -> bool {
         self.clock += 1;
         let (set, tag) = self.set_of(pc);

@@ -48,6 +48,7 @@ impl OffchipPort {
 
     /// Starts a transfer of `bytes` at cycle `now` (or when the port frees
     /// up, whichever is later) and returns the completion cycle.
+    #[inline]
     pub fn schedule(&mut self, now: u64, bytes: u64) -> u64 {
         let start = now.max(self.busy_until);
         let done = start + self.transfer_cycles(bytes);

@@ -72,6 +72,7 @@ impl CoreStats {
 
     /// Records an access of the given class, traversing `network` if it
     /// leaves the tile.
+    #[inline]
     pub(crate) fn record_access(&mut self, class: AccessClass, network: Option<GroupNetwork>) {
         self.accesses[class as usize] += 1;
         if let Some(network) = network {

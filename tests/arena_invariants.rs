@@ -1,0 +1,133 @@
+//! Arena/slab invariants of the quantum engine's hot path.
+//!
+//! The engine's cross-tile mailboxes, per-worker lanes, and boundary
+//! scratch live in a preallocated arena owned by the cluster
+//! (`Cluster::engine_arena_footprint` sums their reserved capacities).
+//! These tests pin the two properties that make the hot path
+//! allocation-free in steady state:
+//!
+//! * buffers are *reused* across ticks and quanta — the arena footprint
+//!   stops growing once a homogeneous workload has warmed it up;
+//! * capacity never shrinks mid-run (slots are recycled, not freed).
+
+use mempool_arch::ClusterConfig;
+use mempool_isa::instr::{AluOp, AmoOp, BranchOp, Instr, LoadOp, StoreOp};
+use mempool_isa::{Program, Reg};
+use mempool_sim::{Cluster, SimError, SimParams};
+
+/// A steady cross-tile traffic loop: every core hammers a shared word
+/// (AMO), a load, and a store, `trips` times, then halts.
+fn traffic_program(trips: u32) -> Program {
+    Program::new(vec![
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::new(31),
+            rs1: Reg::ZERO,
+            imm: trips as i32,
+        },
+        Instr::Amo {
+            op: AmoOp::Add,
+            rd: Reg::new(10),
+            rs1: Reg::ZERO,
+            rs2: Reg::new(31),
+        },
+        Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::new(11),
+            rs1: Reg::ZERO,
+            offset: 16,
+        },
+        Instr::Store {
+            op: StoreOp::Sw,
+            rs2: Reg::new(11),
+            rs1: Reg::ZERO,
+            offset: 32,
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::new(31),
+            rs1: Reg::new(31),
+            imm: -1,
+        },
+        Instr::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::new(31),
+            rs2: Reg::ZERO,
+            offset: -16,
+        },
+        Instr::Wfi,
+    ])
+}
+
+fn bare_cluster(threads: usize, trips: u32) -> Cluster {
+    let cfg = ClusterConfig::builder()
+        .groups(1)
+        .tiles_per_group(4)
+        .cores_per_tile(4)
+        .banks_per_tile(4)
+        .bank_words(64)
+        .build()
+        .expect("valid config");
+    let params = SimParams {
+        threads,
+        ..SimParams::default()
+    };
+    let mut cluster = Cluster::new(cfg, params);
+    // Really spawn the workers even on a single-CPU host so the quantum
+    // engine (and its arena) is exercised.
+    cluster.force_oversubscribe();
+    cluster.load_program(traffic_program(trips));
+    cluster.preload_icaches();
+    cluster
+}
+
+/// Drives `cluster` forward by `slice` cycles (or to completion),
+/// returning whether the run finished.
+fn advance(cluster: &mut Cluster, slice: u64) -> bool {
+    match cluster.run(slice) {
+        Ok(_) => true,
+        Err(SimError::Timeout { .. }) => false,
+        Err(e) => panic!("unexpected sim error: {e}"),
+    }
+}
+
+#[test]
+fn arena_reaches_a_steady_footprint_and_stops_growing() {
+    let mut cluster = bare_cluster(4, 50_000);
+    // Warmup: several full quanta (the engine batches 1024 ticks per
+    // sync) of the homogeneous traffic loop.
+    assert!(!advance(&mut cluster, 5_000), "workload outlives warmup");
+    let warm = cluster.engine_arena_footprint();
+    assert!(warm > 0, "the quantum engine must have reserved buffers");
+    // Steady state: every further slice reuses the warmed-up arena.
+    for slice in 0..8 {
+        assert!(!advance(&mut cluster, 2_000), "workload outlives slices");
+        let now = cluster.engine_arena_footprint();
+        assert_eq!(
+            now, warm,
+            "arena footprint changed after warmup (slice {slice}): \
+             buffers must be recycled, not reallocated"
+        );
+    }
+}
+
+#[test]
+fn arena_is_reused_across_whole_runs() {
+    // Back-to-back runs on the same cluster (reload between runs) must
+    // not grow the arena either: capacity belongs to the cluster, not to
+    // a single `run` call.
+    let mut cluster = bare_cluster(4, 2_000);
+    assert!(advance(&mut cluster, 10_000_000), "first run completes");
+    let after_first = cluster.engine_arena_footprint();
+    assert!(after_first > 0);
+    for _ in 0..3 {
+        cluster.load_program(traffic_program(2_000));
+        cluster.resume_all(0).expect("cores restart");
+        assert!(advance(&mut cluster, 10_000_000), "rerun completes");
+        assert_eq!(
+            cluster.engine_arena_footprint(),
+            after_first,
+            "identical reruns must reuse the warmed-up arena"
+        );
+    }
+}

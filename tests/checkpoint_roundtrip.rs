@@ -83,6 +83,10 @@ fn fresh(threads: usize, trips: u32) -> Cluster {
         ..SimParams::default()
     };
     let mut cluster = Cluster::new(small_config(), params);
+    // These clusters are bare, so multi-thread runs dispatch to the
+    // quantum engine; really spawn the workers even on single-CPU hosts
+    // (the engine otherwise clamps to the host's parallelism).
+    cluster.force_oversubscribe();
     cluster.load_program(traffic_program(trips));
     cluster.preload_icaches();
     cluster
@@ -137,10 +141,42 @@ proptest! {
         }
         let mut resumed = Cluster::restore(&broken.checkpoint()).expect("restore");
         resumed.set_threads(after);
+        resumed.force_oversubscribe();
         if !resumed.quiescent() {
             resumed.run(BUDGET).expect("resumed run finishes");
         }
         prop_assert_eq!(resumed.cycle(), end);
+        prop_assert_eq!(resumed.stats().digest(), unbroken.stats().digest());
+    }
+
+    /// A deadline that lands *inside* a quantum (the engine batches 1024
+    /// ticks per sync by default) must stop the cluster on the exact
+    /// cycle with committed state: snapshotting there and resuming at a
+    /// different worker count stays bit-exact, with cross-tile requests,
+    /// contended AMOs, and off-chip responses in flight at the boundary.
+    #[test]
+    fn mid_quantum_snapshot_resumes_bit_exact(
+        trips in 8u32..40,
+        snap in 1u64..900,
+        workers in 2usize..5,
+    ) {
+        let mut unbroken = fresh(1, trips);
+        let end = unbroken.run(BUDGET).expect("unbroken run finishes");
+
+        let mut broken = fresh(workers, trips);
+        match broken.run(snap) {
+            Ok(_) | Err(SimError::Timeout { .. }) => {}
+            Err(e) => panic!("unexpected sim error: {e}"),
+        }
+        let doc = mempool_obs::Json::parse(&broken.checkpoint().to_pretty())
+            .expect("checkpoint text parses");
+        let mut resumed = Cluster::restore(&doc).expect("restore");
+        resumed.set_threads(workers + 1);
+        resumed.force_oversubscribe();
+        if !resumed.quiescent() {
+            resumed.run(BUDGET).expect("resumed run finishes");
+        }
+        prop_assert_eq!(resumed.cycle(), end, "same final cycle");
         prop_assert_eq!(resumed.stats().digest(), unbroken.stats().digest());
     }
 }

@@ -226,3 +226,231 @@ fn bench_summary_is_bit_identical_across_engines() {
         "the pinned summary must not depend on the engine"
     );
 }
+
+// ---------------------------------------------------------------------
+// Quantum-engine equivalence: *bare* runs (no obs/faults/trace) dispatch
+// to the arena-backed quantum engine whenever more than one effective
+// worker is available. Its contract is the same as the phased-tick
+// engine's, proven against the sequential step-loop reference: same
+// cycles, same stats digest, same errors — at any worker count, through
+// timeouts, and with cross-tile, contended-AMO, and off-chip traffic in
+// flight at quantum boundaries. `force_oversubscribe` makes the runs
+// spawn real worker threads even on single-CPU CI hosts (the engine
+// otherwise clamps workers to the host's parallelism).
+// ---------------------------------------------------------------------
+
+use mempool_isa::instr::{AluOp, AmoOp, BranchOp, Instr, LoadOp, StoreOp, CSR_MHARTID};
+use mempool_isa::Reg;
+
+/// Worker counts for the quantum runs: an even tile split, an uneven
+/// split, and one worker per tile.
+const QUANTUM_WORKERS: [usize; 3] = [2, 3, 8];
+
+fn quantum_config() -> ClusterConfig {
+    ClusterConfig::builder()
+        .groups(1)
+        .tiles_per_group(16)
+        .cores_per_tile(2)
+        .banks_per_tile(4)
+        .bank_words(64)
+        .build()
+        .unwrap()
+}
+
+/// Every core: contended AMO on a shared word, a hart-spread load/store
+/// pair striding across tiles through the interleaved region, optionally
+/// an off-chip load+store, a counted loop, then halt.
+fn quantum_traffic(trips: u32, external: bool) -> Program {
+    let mut body = vec![
+        // r1 = hartid * 4 (word stride), r2 = external base + r1.
+        Instr::Csrrs {
+            rd: Reg::new(1),
+            csr: CSR_MHARTID,
+            rs1: Reg::ZERO,
+        },
+        Instr::OpImm {
+            op: AluOp::Sll,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: 2,
+        },
+        Instr::Lui {
+            rd: Reg::new(2),
+            imm: 0x8000_0000,
+        },
+        Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::new(2),
+            rs1: Reg::new(2),
+            rs2: Reg::new(1),
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::new(31),
+            rs1: Reg::ZERO,
+            imm: trips as i32,
+        },
+        // Loop body.
+        Instr::Amo {
+            op: AmoOp::Add,
+            rd: Reg::new(10),
+            rs1: Reg::ZERO,
+            rs2: Reg::new(31),
+        },
+        Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::new(11),
+            rs1: Reg::new(1),
+            offset: 64,
+        },
+        Instr::Store {
+            op: StoreOp::Sw,
+            rs2: Reg::new(11),
+            rs1: Reg::new(1),
+            offset: 256,
+        },
+    ];
+    if external {
+        body.push(Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::new(12),
+            rs1: Reg::new(2),
+            offset: 0,
+        });
+        body.push(Instr::Store {
+            op: StoreOp::Sw,
+            rs2: Reg::new(31),
+            rs1: Reg::new(2),
+            offset: 4,
+        });
+    }
+    body.extend([
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::new(31),
+            rs1: Reg::new(31),
+            imm: -1,
+        },
+        Instr::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::new(31),
+            rs2: Reg::ZERO,
+            offset: if external { -24 } else { -16 },
+        },
+        Instr::Wfi,
+    ]);
+    Program::new(body)
+}
+
+/// A bare cluster on `threads` workers (really spawned, even on a
+/// single-CPU host).
+fn bare(threads: usize, program: &Program) -> Cluster {
+    let mut cluster = Cluster::new(quantum_config(), params(threads));
+    cluster.force_oversubscribe();
+    cluster.load_program(program.clone());
+    cluster.preload_icaches();
+    cluster
+}
+
+#[test]
+fn quantum_engine_matches_the_step_loop_bit_exactly() {
+    for external in [false, true] {
+        let program = quantum_traffic(40, external);
+        // Reference: the sequential step loop (threads = 1 dispatches to
+        // it directly).
+        let mut reference = bare(1, &program);
+        let ref_cycles = reference.run(1_000_000).expect("reference completes");
+        let ref_digest = reference.stats().digest();
+        for workers in QUANTUM_WORKERS {
+            let mut cluster = bare(workers, &program);
+            let cycles = cluster.run(1_000_000).expect("quantum run completes");
+            assert_eq!(
+                cycles, ref_cycles,
+                "cycle count must not depend on workers ({workers}, external {external})"
+            );
+            assert_eq!(
+                cluster.stats().digest(),
+                ref_digest,
+                "stats digest must not depend on workers ({workers}, external {external})"
+            );
+            assert_eq!(cluster.stats(), reference.stats());
+        }
+    }
+}
+
+#[test]
+fn quantum_timeout_lands_on_the_exact_cycle_and_resumes_bit_exactly() {
+    let program = quantum_traffic(80, true);
+    let mut ref_done = bare(1, &program);
+    let final_cycles = ref_done.run(1_000_000).expect("completes");
+    let final_digest = ref_done.stats().digest();
+    // Budgets chosen to land inside a quantum, not on its boundary.
+    for budget in [1, 777] {
+        let mut reference = bare(1, &program);
+        let ref_err = reference.run(budget).expect_err("budget is too small");
+        assert_eq!(ref_err, SimError::Timeout { cycles: budget });
+        for workers in QUANTUM_WORKERS {
+            let mut cluster = bare(workers, &program);
+            let err = cluster.run(budget).expect_err("budget is too small");
+            assert_eq!(
+                err, ref_err,
+                "timeout error must match at {workers} workers"
+            );
+            assert_eq!(
+                cluster.stats().digest(),
+                reference.stats().digest(),
+                "mid-run state at the deadline must match at {workers} workers"
+            );
+            // Finishing from the timed-out state stays bit-exact.
+            let resumed = cluster.run(1_000_000).expect("resumes to completion");
+            assert_eq!(resumed, final_cycles);
+            assert_eq!(cluster.stats().digest(), final_digest);
+        }
+    }
+}
+
+#[test]
+fn quantum_errors_match_the_step_loop() {
+    // No Wfi: every core runs off the end of the program, and the engine
+    // must report the same PcOutOfRange error at the same cycle with the
+    // same stats as the sequential loop.
+    let program = Program::new(vec![
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::new(5),
+            rs1: Reg::ZERO,
+            imm: 7,
+        },
+        Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::new(6),
+            rs1: Reg::ZERO,
+            offset: 128,
+        },
+    ]);
+    let mut reference = bare(1, &program);
+    let ref_err = reference.run(1_000_000).expect_err("runs off the program");
+    let ref_cycle = reference.cycle();
+    for workers in QUANTUM_WORKERS {
+        let mut cluster = bare(workers, &program);
+        let err = cluster.run(1_000_000).expect_err("runs off the program");
+        assert_eq!(err, ref_err, "error must match at {workers} workers");
+        assert_eq!(
+            cluster.cycle(),
+            ref_cycle,
+            "the clock must stop on the erroring cycle at {workers} workers"
+        );
+        assert_eq!(cluster.stats().digest(), reference.stats().digest());
+    }
+}
+
+#[test]
+fn quantum_reports_no_program_like_the_step_loop() {
+    let mut sequential = Cluster::new(quantum_config(), params(1));
+    let mut quantum = Cluster::new(quantum_config(), params(4));
+    quantum.force_oversubscribe();
+    assert_eq!(
+        sequential.run(1000).expect_err("no program loaded"),
+        quantum.run(1000).expect_err("no program loaded"),
+    );
+}
