@@ -15,7 +15,9 @@
 //! the text tables: one JSON document per produced figure/table
 //! (`fig6.json`, `table2.json`, ...), a `metrics.json`/`metrics.csv`
 //! snapshot, a Perfetto-loadable `trace.json` of the measurement phase
-//! spans, and a `BENCH_repro.json` summary (cycle counts, cycles/MAC,
+//! spans, a `perf_profile.json` engine self-profile (per-worker busy vs
+//! lockstep-wait time, quantum-boundary durations, mailbox volume), and a
+//! `BENCH_repro.json` summary (cycle counts, cycles/MAC, engine choice,
 //! wall-clock).
 //!
 //! With `--faults SEED[:RATE]`, a degraded run is measured on top of the
@@ -37,7 +39,7 @@ use mempool_arch::SpmCapacity;
 use mempool_bench::{args, regress};
 use mempool_kernels::matmul::PhaseModel;
 use mempool_kernels::measure;
-use mempool_kernels::resilience::DegradedObs;
+use mempool_kernels::resilience::{observed_compute_run, DegradedObs, ObservedRun};
 use mempool_obs::{chrome_trace_with_counters, ArtifactDir, Json, Obs};
 
 const KNOWN_TARGETS: [&str; 13] = [
@@ -85,10 +87,14 @@ fn usage() -> ExitCode {
                               forward progress) for the degraded run\n\
          --timeseries WINDOW  sample per-epoch time series (IPC, request and\n\
                               conflict rates, off-chip occupancy) every WINDOW\n\
-                              cycles of the degraded run; exports\n\
-                              timeseries.json/.csv and Perfetto counter tracks\n\
+                              cycles; exports timeseries.json/.csv and Perfetto\n\
+                              counter tracks. Applies to the degraded run with\n\
+                              --faults, otherwise to an instrumented clean run\n\
+                              (quantum engine at --threads > 1, bit-identical\n\
+                              artifacts at any thread count)\n\
          --flight N           keep an N-event flight-recorder ring on the\n\
-                              degraded run; a simulator fault dumps it as\n\
+                              measured (degraded or clean) run; exports\n\
+                              flight.json, and a simulator fault dumps it as\n\
                               crashdump.json\n\
          --threads N          drive every simulation on N host threads via\n\
                               the phased-tick parallel engine (default 1 =\n\
@@ -908,10 +914,63 @@ fn main() -> ExitCode {
         }
     }
 
+    // `--timeseries`/`--flight` without `--faults` instrument a *clean*
+    // compute phase. The clean run carries no fault plan, so at
+    // `--threads > 1` it dispatches to the quantum engine — the
+    // shard-local observation lanes record it at full parallel speed and
+    // the artifacts stay bit-identical to a sequential run.
+    let observed = if opts.faults.is_none() && (opts.timeseries.is_some() || opts.flight.is_some())
+    {
+        eprintln!("measuring instrumented clean run ...");
+        let hooks = DegradedObs {
+            obs: obs.clone(),
+            timeseries_window: opts.timeseries,
+            flight_capacity: opts.flight,
+            ..DegradedObs::default()
+        };
+        match observed_compute_run(&hooks) {
+            Ok(run) => {
+                println!("{}", run.to_text());
+                if let Some(art) = artifacts.as_mut() {
+                    if let Err(e) = art.write_json("observed.json", &run.to_json()) {
+                        eprintln!("repro: writing observed.json: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Some(run)
+            }
+            Err(failure) => {
+                eprintln!("repro: instrumented clean run failed: {failure}");
+                if let Some(dump) = &failure.crash_dump {
+                    let written = match artifacts.as_mut() {
+                        Some(art) => art.write_json("crashdump.json", dump),
+                        None => {
+                            let path = std::path::PathBuf::from("crashdump.json");
+                            std::fs::write(&path, dump.to_pretty()).map(|()| path)
+                        }
+                    };
+                    match written {
+                        Ok(path) => eprintln!("repro: crash dump written to {}", path.display()),
+                        Err(e) => eprintln!("repro: writing crashdump.json: {e}"),
+                    }
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     if let Some(art) = artifacts.as_mut() {
-        if let Err(e) =
-            write_summary_artifacts(art, &obs, &model, &opts, resilience.as_ref(), wall_start)
-        {
+        if let Err(e) = write_summary_artifacts(
+            art,
+            &obs,
+            &model,
+            &opts,
+            resilience.as_ref(),
+            observed.as_ref(),
+            wall_start,
+        ) {
             eprintln!("repro: writing artifacts: {e}");
             return ExitCode::FAILURE;
         }
@@ -933,6 +992,7 @@ fn write_summary_artifacts(
     model: &PhaseModel,
     opts: &Options,
     resilience: Option<&Resilience>,
+    observed: Option<&ObservedRun>,
     wall_start: Instant,
 ) -> std::io::Result<()> {
     let snapshot = obs.metrics.snapshot();
@@ -949,6 +1009,16 @@ fn write_summary_artifacts(
         art.write_json("timeseries.json", &series.to_json())?;
         art.write_text("timeseries.csv", &series.to_csv())?;
     }
+    // Flight events land as their own artifact so the instrumented
+    // byte-diff can compare the ring without provoking a crash dump.
+    if !obs.flight.is_empty() {
+        art.write_json("flight.json", &obs.flight.to_json())?;
+    }
+    // The quantum engine's host-side self-profile: per-worker busy vs
+    // lockstep-wait time, boundary durations, mailbox volume, and the
+    // embedded Perfetto counter-track document. Wall-clock content, so CI
+    // byte-diffs skip it (like BENCH_repro.json).
+    art.write_json("perf_profile.json", &mempool_sim::engine_profile_json())?;
 
     // Cycle counts of the modeled matmul at the Section VI-B bandwidth,
     // one per SPM capacity.
@@ -968,6 +1038,14 @@ fn write_summary_artifacts(
             Json::Arr(opts.targets.iter().map(Json::str).collect()),
         ),
         ("measured", Json::Bool(opts.measure)),
+        // Which engine the run's simulations dispatch(ed) to, and why —
+        // the explicit record of what used to be a silent fast-path
+        // downgrade. String-valued so the numeric regression comparator
+        // ignores engine differences between artifact legs.
+        (
+            "engine",
+            mempool_sim::planned_engine(opts.threads, opts.faults.is_some()).to_json(),
+        ),
         ("model", model_json(model)),
         ("cycles_per_mac", Json::Float(model.cycles_per_mac)),
         ("matmul_cycles_at_16B_per_cycle", Json::Arr(cycles)),
@@ -991,6 +1069,18 @@ fn write_summary_artifacts(
                 ("clean_fig6_speedup", Json::Float(r.clean_speedup())),
                 ("degraded_fig6_speedup", Json::Float(r.degraded_speedup())),
                 ("fig6_delta_cycles", Json::Float(r.fig6_delta_cycles())),
+            ]),
+        ));
+    }
+    // The instrumented clean run's cycle count and engine record: both
+    // must be identical across `--threads` settings (the equivalence the
+    // instrumented CI diff pins).
+    if let Some(o) = observed {
+        pairs.push((
+            "observed",
+            Json::obj([
+                ("phase_cycles", Json::Int(o.cycles as i64)),
+                ("engine", o.engine.to_json()),
             ]),
         ));
     }

@@ -149,10 +149,15 @@ fn throughput_probe() -> mempool_obs::Json {
     use mempool_arch::ClusterConfig;
     use mempool_kernels::matmul::ComputePhase;
     use mempool_kernels::Kernel;
-    use mempool_obs::Json;
+    use mempool_obs::{Json, Obs};
     use mempool_sim::{Cluster, SimParams};
 
-    fn cycles_per_second(threads: usize) -> f64 {
+    /// Epoch length of the instrumented legs' time-series sampling.
+    const PROBE_TIMESERIES_WINDOW: u64 = 1024;
+    /// Flight-recorder ring capacity of the instrumented legs.
+    const PROBE_FLIGHT_CAPACITY: usize = 256;
+
+    fn cycles_per_second(threads: usize, instrumented: bool) -> f64 {
         let cfg = ClusterConfig::builder()
             .groups(1)
             .tiles_per_group(PROBE_TILES)
@@ -170,6 +175,17 @@ fn throughput_probe() -> mempool_obs::Json {
         let mut simulated = 0u64;
         for _ in 0..PROBE_REPS {
             let mut cluster = Cluster::new(cfg.clone(), params);
+            // The instrumented legs carry the full observability stack
+            // (spans, metrics, epoch sampling, flight ring + trace) —
+            // clean runs stay quantum-eligible, so this prices the
+            // shard-local observation lanes, not an engine downgrade.
+            let obs = instrumented.then(Obs::new);
+            if let Some(obs) = &obs {
+                cluster.attach_obs(obs, "probe");
+                cluster.enable_timeseries(PROBE_TIMESERIES_WINDOW);
+                cluster.enable_flight(PROBE_FLIGHT_CAPACITY);
+                cluster.enable_trace(PROBE_FLIGHT_CAPACITY);
+            }
             simulated += phase
                 .run(&mut cluster, 100_000_000)
                 .expect("the probe workload must complete");
@@ -179,7 +195,7 @@ fn throughput_probe() -> mempool_obs::Json {
 
     let legs: Vec<(usize, f64)> = PROBE_THREAD_COUNTS
         .iter()
-        .map(|&threads| (threads, cycles_per_second(threads)))
+        .map(|&threads| (threads, cycles_per_second(threads, false)))
         .collect();
     let sequential = legs[0].1;
     let parallel = legs[legs.len() - 1].1;
@@ -211,6 +227,20 @@ fn throughput_probe() -> mempool_obs::Json {
     } else {
         1.0
     };
+    // Instrumented legs: the same workload with the full observability
+    // stack attached, at the sequential reference and the headline
+    // parallel count. `obs_overhead` prices the observation lanes
+    // (bare vs instrumented throughput at the parallel count);
+    // `instrumented_parallel_speedup` shows instrumented runs still
+    // scale — it shares `parallel_speedup`'s 1.0 hard floor and pinning.
+    let instr_sequential = cycles_per_second(1, true);
+    let instr_parallel = cycles_per_second(probed, true);
+    let obs_overhead = parallel / instr_parallel.max(1e-9);
+    let instr_speedup = if workers > 1 {
+        instr_parallel / instr_sequential.max(1e-9)
+    } else {
+        1.0
+    };
     Json::obj([
         (
             "probe",
@@ -226,8 +256,17 @@ fn throughput_probe() -> mempool_obs::Json {
                     .collect(),
             ),
         ),
+        (
+            "instrumented_cycles_per_second",
+            Json::Obj(vec![
+                ("1".to_string(), Json::Float(instr_sequential)),
+                (probed.to_string(), Json::Float(instr_parallel)),
+            ]),
+        ),
         ("parallel_workers", Json::Int(workers as i64)),
         ("parallel_speedup", Json::Float(speedup)),
+        ("obs_overhead", Json::Float(obs_overhead)),
+        ("instrumented_parallel_speedup", Json::Float(instr_speedup)),
         ("serve", serve_probe()),
     ])
 }
@@ -406,6 +445,28 @@ mod tests {
         assert!(
             speedup.is_finite() && speedup > 0.0,
             "perf.parallel_speedup = {speedup} must be a positive finite number"
+        );
+        let perf_float = |key: &str| {
+            perf.get(key)
+                .and_then(|v| match v {
+                    mempool_obs::Json::Float(f) => Some(*f),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("perf.{key} must be a float"))
+        };
+        let overhead = perf_float("obs_overhead");
+        assert!(
+            overhead.is_finite() && overhead > 0.0,
+            "perf.obs_overhead = {overhead} must be a positive finite number"
+        );
+        let instr_speedup = perf_float("instrumented_parallel_speedup");
+        assert!(
+            instr_speedup.is_finite() && instr_speedup > 0.0,
+            "perf.instrumented_parallel_speedup = {instr_speedup}"
+        );
+        assert!(
+            perf.get("instrumented_cycles_per_second").is_some(),
+            "perf carries the instrumented throughput map"
         );
         let serve = perf
             .get("serve")

@@ -82,6 +82,11 @@ const RULES: &[Rule] = &[
     // "speedup"/"cycle" substring rules below.
     rule("cycles_per_second", Direction::LowerIsWorse, 0.60),
     rule("parallel_speedup", Direction::LowerIsWorse, 0.75),
+    // The instrumentation cost ratio (bare vs instrumented cycles/sec) is
+    // a quotient of two wall-clock measurements, so it is doubly noisy;
+    // only a drastic blow-up (observability suddenly costing multiples of
+    // the bare run) should fail. Must precede the strict "overhead" rule.
+    rule("obs_overhead", Direction::HigherIsWorse, 0.60),
     // Service-throughput metrics from the serve probe. Configs served per
     // wall-clock second is a host measurement and gets the same lenient
     // collapse-only gate; the cache hit rate of the probe's deterministic
@@ -465,6 +470,33 @@ mod tests {
         // Getting faster is never a regression — the lenient LowerIsWorse
         // rules must shadow the strict HigherIsWorse "cycle" rule.
         assert!(!compare(&base, &perf(5e6, 3.0)).is_regression());
+    }
+
+    #[test]
+    fn obs_overhead_is_lenient_but_instrumented_speedup_keeps_the_floor() {
+        let perf = |overhead: f64, instr_speedup: f64| {
+            Json::obj([(
+                "perf",
+                Json::obj([
+                    ("obs_overhead", Json::Float(overhead)),
+                    ("instrumented_parallel_speedup", Json::Float(instr_speedup)),
+                ]),
+            )])
+        };
+        let base = perf(1.1, 2.0);
+        // Noise-scale growth of the instrumentation cost must not trip the
+        // strict "overhead" rule — the lenient obs_overhead rule shadows it.
+        assert!(!compare(&base, &perf(1.5, 2.0)).is_regression());
+        // A drastic blow-up still fails.
+        assert!(compare(&base, &perf(3.0, 2.0)).is_regression());
+        // The instrumented speedup shares parallel_speedup's hard floor.
+        let cmp = compare(&base, &perf(1.1, 0.8));
+        assert!(cmp.is_regression());
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|d| d.path.contains("instrumented_parallel_speedup")
+                && d.path.contains("hard floor")));
     }
 
     #[test]

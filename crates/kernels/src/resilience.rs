@@ -127,6 +127,99 @@ pub struct DegradedObs {
     pub resume: Option<PathBuf>,
 }
 
+/// An instrumented *clean* run: the compute phase with the full
+/// observability stack attached but no fault plan, so at `--threads > 1`
+/// it dispatches to the quantum engine (instrumentation no longer forces
+/// the sequential step path). This is the run behind `repro
+/// --timeseries/--flight` without `--faults`.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// Cycles the instrumented phase took.
+    pub cycles: u64,
+    /// Which engine the run dispatched to, and why.
+    pub engine: mempool_sim::EngineSelection,
+    /// Exact cycle attribution of the instrumented run.
+    pub attribution: AttributionReport,
+}
+
+impl ObservedRun {
+    /// Serializes the run summary (cycle count, engine record,
+    /// attribution).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::Int(self.cycles as i64)),
+            ("engine", self.engine.to_json()),
+            ("attribution", self.attribution.to_json()),
+        ])
+    }
+
+    /// One-line text form for the repro CLI.
+    pub fn to_text(&self) -> String {
+        format!(
+            "observed clean run: {} cycles on the {} engine ({})",
+            self.cycles, self.engine.engine, self.engine.reason
+        )
+    }
+}
+
+/// Runs one *clean* compute phase with observability attached: spans and
+/// metrics into the shared [`Obs`], plus optional time-series sampling
+/// and a flight-recorder ring (which implies instruction tracing, as in
+/// the degraded path). Without a fault plan the run is quantum-eligible,
+/// so with multiple default threads the shard-local observation lanes
+/// carry the instrumentation at full parallel speed — and the artifacts
+/// are bit-identical to a sequential run.
+///
+/// # Errors
+///
+/// Propagates simulation and verification errors; simulator faults carry
+/// a full crash dump, as in [`degraded_compute_run_observed`].
+pub fn observed_compute_run(hooks: &DegradedObs) -> Result<ObservedRun, Box<DegradedFailure>> {
+    let plain = |error: KernelError| {
+        Box::new(DegradedFailure {
+            error,
+            crash_dump: None,
+            last_checkpoint: None,
+        })
+    };
+    let phase = ComputePhase::new(32);
+    let mut cluster = resilience_cluster().map_err(plain)?;
+    cluster.attach_obs(&hooks.obs, "observed");
+    if let Some(window) = hooks.timeseries_window {
+        cluster.enable_timeseries(window);
+    }
+    if let Some(capacity) = hooks.flight_capacity {
+        cluster.enable_flight(capacity);
+        cluster.enable_trace(capacity);
+    }
+    let engine = cluster.engine_selection();
+    let cycles = match phase.run(&mut cluster, BUDGET) {
+        Ok(cycles) => cycles,
+        Err(error) => {
+            let crash_dump = match &error {
+                KernelError::Sim(sim) => Some(cluster.crash_dump(sim)),
+                _ => None,
+            };
+            return Err(Box::new(DegradedFailure {
+                error,
+                crash_dump,
+                last_checkpoint: None,
+            }));
+        }
+    };
+    let stats = cluster.stats();
+    let attribution = stats.attribution(
+        cluster.config().cores_per_tile(),
+        cluster.config().banks_per_tile(),
+    );
+    cluster.detach_obs();
+    Ok(ObservedRun {
+        cycles,
+        engine,
+        attribution,
+    })
+}
+
 /// A failed degraded run: the error, plus — when the simulator itself
 /// faulted — a self-contained crash dump ready to write as
 /// `crashdump.json`.
@@ -348,6 +441,33 @@ mod tests {
         assert!(
             !hooks.obs.flight.is_empty(),
             "served requests must land in the flight ring"
+        );
+    }
+
+    #[test]
+    fn observed_clean_run_records_engine_and_fills_instrumentation() {
+        let hooks = DegradedObs {
+            obs: Obs::new(),
+            timeseries_window: Some(256),
+            flight_capacity: Some(128),
+            ..DegradedObs::default()
+        };
+        let run = observed_compute_run(&hooks).unwrap();
+        assert!(run.cycles > 0);
+        // Unit tests run at the sequential default, so the recorded
+        // choice is the step engine with the single-worker reason.
+        assert_eq!(run.engine.engine, "step");
+        assert!(run.engine.reason.contains("single effective worker"));
+        assert!(!hooks.obs.series.is_empty(), "sampling must produce tracks");
+        assert!(!hooks.obs.flight.is_empty(), "mem events must land");
+        // Attribution stays exact under instrumentation.
+        for core in &run.attribution.cores {
+            assert_eq!(core.total(), run.attribution.cycles);
+        }
+        let json = run.to_json();
+        assert_eq!(
+            json.get("engine").and_then(|e| e.get("name")),
+            Some(&Json::str("step"))
         );
     }
 

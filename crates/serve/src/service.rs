@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use mempool_obs::{load_json_file, quarantine_path, FlightRecorder, Json, LoadOutcome};
 
@@ -112,6 +113,19 @@ impl ServeStats {
     }
 }
 
+/// Per-worker pool-health counters: how many jobs a worker computed and
+/// how long it spent computing them. Together with the service uptime
+/// these give per-worker utilization — the pool-health signal that tells
+/// an undersized pool (all workers saturated) from a skewed one (one
+/// worker soaking up every long experiment).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Jobs this worker finished (successes and failures alike).
+    pub jobs: AtomicU64,
+    /// Nanoseconds spent inside experiment runs.
+    pub busy_ns: AtomicU64,
+}
+
 /// One recent service event (bounded ring, exported as a flight-recorder
 /// document). `seq` stands in for the cycle domain of simulator events.
 #[derive(Debug, Clone)]
@@ -157,6 +171,10 @@ pub(crate) struct Shared {
     stats: ServeStats,
     flight: Mutex<FlightRing>,
     busy_workers: AtomicU64,
+    /// One entry per worker thread (index = worker id).
+    worker_stats: Vec<WorkerStats>,
+    /// When the pool started — the utilization denominator.
+    started_at: Instant,
     shutdown_requested: AtomicBool,
     max_queue: usize,
     workers: usize,
@@ -275,6 +293,10 @@ impl Service {
                 ..FlightRing::default()
             }),
             busy_workers: AtomicU64::new(0),
+            worker_stats: (0..config.workers)
+                .map(|_| WorkerStats::default())
+                .collect(),
+            started_at: Instant::now(),
             shutdown_requested: AtomicBool::new(false),
             max_queue: config.max_queue,
             workers: config.workers,
@@ -518,8 +540,14 @@ fn worker_loop(shared: &Shared, index: u32) {
         );
         // A panicking experiment must not wedge its waiters or the pool:
         // it is converted into a typed experiment error.
+        let job_start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| shared.runner.run(&req)))
             .unwrap_or_else(|panic| Err(panic_message(panic.as_ref())));
+        let worker_stat = &shared.worker_stats[index as usize];
+        worker_stat.jobs.fetch_add(1, Ordering::Relaxed);
+        worker_stat
+            .busy_ns
+            .fetch_add(job_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let mut state = shared.state.lock().expect("service state poisoned");
         let entry = state
             .inflight
@@ -712,8 +740,34 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
             Json::Int(shared.busy_workers.load(Ordering::Relaxed) as i64),
         ),
         ("cache_entries", Json::Int(shared.cache.len() as i64)),
+        ("worker_pool", worker_pool_json(shared)),
         ("flight", flight_recorder(shared).to_json()),
     ])
+}
+
+/// Per-worker pool-health array: jobs computed, busy nanoseconds, and
+/// utilization (busy time over pool uptime, clamped to `[0, 1]`).
+fn worker_pool_json(shared: &Shared) -> Json {
+    let uptime_ns = (shared.started_at.elapsed().as_nanos() as u64).max(1);
+    Json::Arr(
+        shared
+            .worker_stats
+            .iter()
+            .enumerate()
+            .map(|(index, w)| {
+                let busy_ns = w.busy_ns.load(Ordering::Relaxed);
+                Json::obj([
+                    ("worker", Json::Int(index as i64)),
+                    ("jobs", Json::Int(w.jobs.load(Ordering::Relaxed) as i64)),
+                    ("busy_ns", Json::Int(busy_ns as i64)),
+                    (
+                        "utilization",
+                        Json::Float((busy_ns as f64 / uptime_ns as f64).min(1.0)),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn export_metrics(shared: &Shared, registry: &mempool_obs::Registry) {
@@ -745,6 +799,22 @@ fn export_metrics(shared: &Shared, registry: &mempool_obs::Registry) {
     registry
         .gauge("serve_cache_hit_rate", &[])
         .set(stats.cache_hit_rate());
+    // Per-worker pool health, labeled by worker index.
+    let uptime_ns = (shared.started_at.elapsed().as_nanos() as u64).max(1);
+    for (index, w) in shared.worker_stats.iter().enumerate() {
+        let worker = index.to_string();
+        let labels: &[(&str, &str)] = &[("worker", worker.as_str())];
+        registry
+            .counter("serve_worker_jobs_total", labels)
+            .add(w.jobs.load(Ordering::Relaxed));
+        let busy_ns = w.busy_ns.load(Ordering::Relaxed);
+        registry
+            .counter("serve_worker_busy_ns_total", labels)
+            .add(busy_ns);
+        registry
+            .gauge("serve_worker_utilization", labels)
+            .set((busy_ns as f64 / uptime_ns as f64).min(1.0));
+    }
 }
 
 fn flight_recorder(shared: &Shared) -> FlightRecorder {

@@ -321,6 +321,25 @@ fn metrics_and_flight_recorder_export_through_mempool_obs() {
     let text = snapshot.to_pretty();
     assert!(text.contains("serve_requests_total"), "{text}");
     assert!(text.contains("serve_cache_hit_rate"), "{text}");
+    // Per-worker pool health rides both exports: labeled counters in the
+    // registry and a worker_pool array in the stats document.
+    assert!(text.contains("serve_worker_jobs_total"), "{text}");
+    assert!(text.contains("serve_worker_utilization"), "{text}");
+    let stats = service.stats_json();
+    let pool = stats.get("worker_pool").and_then(Json::as_arr).unwrap();
+    assert_eq!(pool.len(), ServiceConfig::default().workers);
+    let total_jobs: i64 = pool
+        .iter()
+        .map(|w| w.get("jobs").and_then(Json::as_int).unwrap())
+        .sum();
+    assert_eq!(total_jobs, 1, "one unique config was computed");
+    for worker in pool {
+        let utilization = worker.get("utilization").and_then(Json::as_f64).unwrap();
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization = {utilization} must be a clamped fraction"
+        );
+    }
     let flight = service.flight_recorder().to_json();
     let events = flight.get("events").and_then(Json::as_arr).unwrap();
     assert!(!events.is_empty());

@@ -520,7 +520,7 @@ impl Cluster {
 
     /// Collects the time-series sampling snapshot at `now` (see
     /// [`engine::collect_samples`]).
-    fn sample_inputs(&self, now: u64) -> SampleInputs {
+    pub(crate) fn sample_inputs(&self, now: u64) -> SampleInputs {
         engine::collect_samples(
             self.cores.iter(),
             self.config.cores_per_tile() as usize,
@@ -537,7 +537,7 @@ impl Cluster {
     /// untouched — the engine re-baselines at epoch boundaries, while
     /// [`Self::crash_dump`] uses this directly to flush a partial epoch
     /// (zero-length windows are dropped, not clamped).
-    fn push_samples(&self, sampler: &Sampler, now: u64) {
+    pub(crate) fn push_samples(&self, sampler: &Sampler, now: u64) {
         let Some(hooks) = self.obs.as_ref() else {
             return;
         };
@@ -1032,10 +1032,13 @@ impl Cluster {
     #[must_use = "a run can fail with a SimError that must not be ignored"]
     pub fn run(&mut self, max_cycles: u64) -> Result<u64, SimError> {
         let threads = self.effective_workers();
-        if self.bare() && threads > 1 {
-            // Uninstrumented multi-worker run: the arena-backed quantum
-            // engine, bit-identical to `step` at any worker count. With
-            // one effective worker the plain sequential loop below is the
+        if threads > 1 && self.quantum_eligible() {
+            // Multi-worker run, instrumented or not: the arena-backed
+            // quantum engine, bit-identical to `step` at any worker
+            // count. Observability (counters, time series, flight ring,
+            // tracing, watchdog) rides the shard-local observation lanes
+            // and merges deterministically at quantum stops. With one
+            // effective worker the plain sequential loop below is the
             // faster engine (no mailbox/lockstep bookkeeping), so the
             // quantum path is reserved for real parallelism.
             return engine::run_quantum(self, max_cycles, threads);
@@ -1053,19 +1056,27 @@ impl Cluster {
         Ok(self.cycle)
     }
 
-    /// Whether this cluster is *bare* — no fault controller, watchdog,
-    /// trace, flight ring, observability, sampler, or spare-bank remaps —
-    /// so [`Cluster::run`] may take the quantum engine's hot path. Each of
-    /// those facilities hooks the per-tick sequential phases, which the
-    /// quantum engine batches away.
-    fn bare(&self) -> bool {
-        self.faults.is_none()
-            && self.watchdog.is_none()
-            && self.trace.is_none()
-            && self.obs.is_none()
-            && self.sampler.is_none()
-            && !self.flight_enabled
-            && self.storage.spares_per_tile() == 0
+    /// Whether a multi-worker [`Cluster::run`] may take the quantum
+    /// engine. Fault plans (timed faults, ECC, link state) and spare-bank
+    /// remaps hook the per-tick sequential phases the quantum engine
+    /// batches away, so they fall back to the phased-tick engine; every
+    /// observability facility rides the quantum engine's shard-local
+    /// observation lanes.
+    fn quantum_eligible(&self) -> bool {
+        self.faults.is_none() && self.storage.spares_per_tile() == 0
+    }
+
+    /// Which engine [`Cluster::run`] will dispatch to right now, plus the
+    /// reason — the explicit record of what used to be a silent
+    /// fast-path downgrade. Written into `BENCH_repro.json` and
+    /// `crashdump.json` (string-valued, so engine differences between a
+    /// sequential and a parallel leg never trip the numeric comparator).
+    pub fn engine_selection(&self) -> EngineSelection {
+        select_engine(
+            self.effective_workers(),
+            self.faults.is_some(),
+            self.storage.spares_per_tile() > 0,
+        )
     }
 
     /// Total reserved capacity (entries) across the quantum engine's
@@ -1190,6 +1201,7 @@ impl Cluster {
                 ]),
             ),
             ("cycle", Json::Int(self.cycle as i64)),
+            ("engine", self.engine_selection().to_json()),
             (
                 "liveness",
                 Json::Arr(
@@ -1214,6 +1226,67 @@ impl Cluster {
             ("trace", chrome),
         ])
     }
+}
+
+/// Which execution engine a run dispatches to, with the reason — see
+/// [`Cluster::engine_selection`] and [`planned_engine`]. Both fields are
+/// short stable strings meant for artifacts and logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSelection {
+    /// `"quantum"` (lockstep shard quanta) or `"step"` (per-tick phased
+    /// commit, sequential or thread-pooled).
+    pub engine: &'static str,
+    /// Why that engine was (or will be) chosen.
+    pub reason: &'static str,
+}
+
+impl EngineSelection {
+    /// `{"name": ..., "reason": ...}` — string-valued on purpose, so the
+    /// regression comparator (which diffs numeric leaves only) ignores
+    /// engine differences between artifact legs.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.engine)),
+            ("reason", Json::str(self.reason)),
+        ])
+    }
+}
+
+/// The engine-dispatch decision as a pure function of its inputs.
+pub(crate) fn select_engine(workers: usize, faulted: bool, spares: bool) -> EngineSelection {
+    if workers <= 1 {
+        EngineSelection {
+            engine: "step",
+            reason: "single effective worker: the sequential step loop is the faster engine",
+        }
+    } else if faulted {
+        EngineSelection {
+            engine: "step",
+            reason: "fault plan injected: fault/ECC/link hooks run in the per-tick phases",
+        }
+    } else if spares {
+        EngineSelection {
+            engine: "step",
+            reason: "spare-bank remaps active: bank indirection resolves in the per-tick phases",
+        }
+    } else {
+        EngineSelection {
+            engine: "quantum",
+            reason:
+                "parallel run: tile shards in lockstep quanta with shard-local observation lanes",
+        }
+    }
+}
+
+/// The engine a run configured with `threads` host threads (and a fault
+/// plan or not) will dispatch to on this host — [`Cluster::engine_selection`]
+/// without needing a constructed cluster, for artifact writers that
+/// record the choice up front. Applies the same host-parallelism clamp
+/// as [`Cluster::effective_workers`]; assumes no spare banks and at
+/// least `threads` tiles.
+pub fn planned_engine(threads: usize, faulted: bool) -> EngineSelection {
+    let workers = threads.max(1).min(engine::host_parallelism());
+    select_engine(workers, faulted, false)
 }
 
 /// How many of a core's most recent retired instructions a

@@ -40,6 +40,7 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
+use std::time::Instant;
 
 use mempool_arch::{
     AddressMap, ClusterConfig, GlobalCoreId, LatencyModel, MemoryRegion, TileId, Topology,
@@ -1193,7 +1194,24 @@ pub(crate) struct InboxSlot {
     data: Mutex<Inbox>,
 }
 
+/// A bank access served on the quantum path, recorded for flight-ring
+/// replay at the boundary. Tagged `(tick, tile)` so the merge across
+/// lanes can restore the sequential engine's global bank-sweep order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MemEvent {
+    tick: u64,
+    core: u32,
+    tile: u32,
+    bank: u32,
+    word: u32,
+    kind: &'static str,
+}
+
 /// Per-worker scratch, preallocated and reused across ticks and quanta.
+/// The instrumentation vectors are this worker's private *observation
+/// lane*: the hot path appends to them with no locks and (in steady
+/// state) no allocations, and the boundary drains them in deterministic
+/// source-tile order.
 #[derive(Debug)]
 pub(crate) struct WorkerLane {
     /// Outgoing bank pushes, one buffer per destination tile
@@ -1213,6 +1231,31 @@ pub(crate) struct WorkerLane {
     inert_since: u64,
     /// First `(tick, tile, error)` this worker hit, by sweep order.
     error: Option<(u64, u32, SimError)>,
+    /// Served bank accesses this quantum (flight `mem` events), in
+    /// (tick, tile, bank) order. Only fed when flight recording is on.
+    mem_events: Vec<MemEvent>,
+    /// Retired instructions this quantum, in (tick, tile, core) order.
+    /// Only fed when tracing is on.
+    trace_out: Vec<TraceEntry>,
+    /// `(tick, global core)` pairs that executed `wfi` this quantum
+    /// (obs span begins). Only fed when an obs handle is attached.
+    halts: Vec<(u64, u32)>,
+    /// Per-tick scratch flag: whether this lane's shards delivered a
+    /// response or retired an instruction during the current tick.
+    progress: bool,
+    /// Ticks at which this lane's shards made forward progress, strictly
+    /// ascending. Only fed when a watchdog is armed.
+    progress_ticks: Vec<u64>,
+    /// Self-profiling: nanoseconds this worker spent inside the lockstep
+    /// gate waiting on peers this quantum.
+    prof_wait_ns: u64,
+    /// Self-profiling: total wall nanoseconds this worker ran this
+    /// quantum (busy time is `total - wait`).
+    prof_total_ns: u64,
+    /// Self-profiling: bank pushes routed through mailboxes this quantum.
+    prof_pushes: u64,
+    /// Self-profiling: responses routed through mailboxes this quantum.
+    prof_responses: u64,
 }
 
 impl WorkerLane {
@@ -1224,7 +1267,29 @@ impl WorkerLane {
             touches: 0,
             inert_since: u64::MAX,
             error: None,
+            mem_events: Vec::new(),
+            trace_out: Vec::new(),
+            halts: Vec::new(),
+            progress: false,
+            progress_ticks: Vec::new(),
+            prof_wait_ns: 0,
+            prof_total_ns: 0,
+            prof_pushes: 0,
+            prof_responses: 0,
         }
+    }
+
+    /// Drains this quantum's self-profiling tallies as
+    /// `(busy_ns, wait_ns, mailbox_pushes, mailbox_responses)`.
+    fn take_profile(&mut self) -> (u64, u64, u64, u64) {
+        let total = std::mem::take(&mut self.prof_total_ns);
+        let wait = std::mem::take(&mut self.prof_wait_ns);
+        (
+            total.saturating_sub(wait),
+            wait,
+            std::mem::take(&mut self.prof_pushes),
+            std::mem::take(&mut self.prof_responses),
+        )
     }
 }
 
@@ -1242,6 +1307,18 @@ pub(crate) struct QuantumArena {
     lanes: Vec<WorkerLane>,
     /// Boundary scratch: the merged off-chip intent log.
     ext_merge: Vec<(u64, u32, ExternalIntent)>,
+    /// Boundary scratch: merged trace entries, sorted into sequential
+    /// retire order before replay.
+    trace_merge: Vec<TraceEntry>,
+    /// Boundary scratch: merged flight `mem` events.
+    mem_merge: Vec<MemEvent>,
+    /// Boundary scratch: merged `wfi` span begins.
+    halt_merge: Vec<(u64, u32)>,
+    /// Boundary scratch: merged forward-progress ticks (watchdog replay).
+    progress_merge: Vec<u64>,
+    /// Off-chip intents merged at the most recent boundary
+    /// (self-profiling).
+    ext_merged_last: u64,
 }
 
 impl QuantumArena {
@@ -1279,9 +1356,18 @@ impl QuantumArena {
                 lane.externals.capacity()
                     + lane.push_out.iter().map(Vec::capacity).sum::<usize>()
                     + lane.resp_out.iter().map(Vec::capacity).sum::<usize>()
+                    + lane.mem_events.capacity()
+                    + lane.trace_out.capacity()
+                    + lane.halts.capacity()
+                    + lane.progress_ticks.capacity()
             })
             .sum();
-        (inbox + lanes + self.ext_merge.capacity()) as u64
+        let merge = self.ext_merge.capacity()
+            + self.trace_merge.capacity()
+            + self.mem_merge.capacity()
+            + self.halt_merge.capacity()
+            + self.progress_merge.capacity();
+        (inbox + lanes + merge) as u64
     }
 }
 
@@ -1301,6 +1387,14 @@ struct BareCtx<'a> {
     /// `max(1, offchip_latency)` keeps every boundary ahead of the
     /// earliest possible response due-cycle.
     ext_hold: u64,
+    /// Whether an obs handle is attached (record `wfi` span begins).
+    obs_on: bool,
+    /// Whether flight recording is on (record served-access events).
+    flight_on: bool,
+    /// Whether instruction tracing is on (record retires).
+    trace_on: bool,
+    /// Whether a watchdog is armed (record forward-progress ticks).
+    watch: bool,
 }
 
 /// The state one worker owns exclusively for one tile: cores, response
@@ -1331,8 +1425,10 @@ impl TileShard<'_> {
 
 /// Serves every bank of one tile for tick `now`: earliest arrival
 /// strictly in the past wins, FIFO among ties — the exact discipline of
-/// [`serve_banks`], minus the fault/ECC/flight arms that cannot trigger
-/// on the bare path.
+/// [`serve_banks`], minus the fault/ECC arms that cannot trigger on the
+/// quantum path. Flight `mem` events go to the lane's observation
+/// buffer, tagged with their tick, and are replayed into the shared ring
+/// in sequential order at the boundary.
 fn serve_tile_bare(ctx: &BareCtx<'_>, shard: &mut TileShard<'_>, lane: &mut WorkerLane, now: u64) {
     for bank in shard.banks.iter_mut() {
         bank.stats.max_queue_depth = bank.stats.max_queue_depth.max(bank.queue.len() as u64);
@@ -1357,6 +1453,20 @@ fn serve_tile_bare(ctx: &BareCtx<'_>, shard: &mut TileShard<'_>, lane: &mut Work
         let access = bank.queue.swap_remove(index);
         bank.stats.served += 1;
         debug_assert_eq!(access.loc.tile.0, shard.tile, "banks are tile-owned");
+        if ctx.flight_on {
+            lane.mem_events.push(MemEvent {
+                tick: now,
+                core: access.core,
+                tile: access.loc.tile.0,
+                bank: access.loc.bank.0,
+                word: access.loc.word,
+                kind: match access.kind {
+                    MemAccessKind::Load { .. } => "load",
+                    MemAccessKind::Store { .. } => "store",
+                    MemAccessKind::Amo { .. } => "amo",
+                },
+            });
+        }
         let word = access.loc.bank.index() * ctx.bank_words + access.loc.word as usize;
         let old_word = shard.spm[word];
         lane.touches += 1;
@@ -1398,12 +1508,14 @@ fn serve_tile_bare(ctx: &BareCtx<'_>, shard: &mut TileShard<'_>, lane: &mut Work
     }
 }
 
-/// The local phase of one tile for tick `now` on the bare path: deliver
-/// due responses, then issue at most one instruction per core — the
-/// logic of [`local_tile`] minus link/trace/observability arms. Bank
-/// pushes are routed per destination tile (the canonical order the
-/// inboxes restore); off-chip intents land in the lane's tick-tagged log
-/// and shorten the quantum via `stop_at`.
+/// The local phase of one tile for tick `now` on the quantum path:
+/// deliver due responses, then issue at most one instruction per core —
+/// the logic of [`local_tile`] minus the fault-link arms that cannot
+/// trigger here. Bank pushes are routed per destination tile (the
+/// canonical order the inboxes restore); off-chip intents land in the
+/// lane's tick-tagged log and shorten the quantum via `stop_at`; trace
+/// entries, `wfi` span begins, and forward-progress marks land in the
+/// lane's observation buffers for deterministic boundary replay.
 fn local_tile_bare(
     ctx: &BareCtx<'_>,
     shard: &mut TileShard<'_>,
@@ -1417,6 +1529,7 @@ fn local_tile_bare(
             if responses[i].due <= now {
                 let r = responses.swap_remove(i);
                 core.complete(r.reg, r.value);
+                lane.progress = true;
             } else {
                 i += 1;
             }
@@ -1482,6 +1595,15 @@ fn local_tile_bare(
             }
         }
         core.stats.retired += 1;
+        lane.progress = true;
+        if ctx.trace_on {
+            lane.trace_out.push(TraceEntry {
+                cycle: now,
+                core: core_id,
+                pc,
+                instr,
+            });
+        }
         match exec::issue(instr, pc, &mut core.regs, index as u32) {
             Issue::Next { pc: next } => {
                 if next != pc.wrapping_add(4) && ctx.params.taken_branch_penalty > 0 {
@@ -1492,6 +1614,9 @@ fn local_tile_bare(
             }
             Issue::Halt => {
                 core.halt();
+                if ctx.obs_on {
+                    lane.halts.push((now, index as u32));
+                }
             }
             Issue::Mem { req, next_pc } => {
                 core.pc = next_pc;
@@ -1581,6 +1706,7 @@ fn quantum_worker(
     } else {
         4096
     };
+    let lane_start = Instant::now();
     let mut t = start;
     loop {
         // Lockstep: proceed once every peer has finished tick `t - 1`.
@@ -1591,6 +1717,13 @@ fn quantum_worker(
                 if w == me {
                     continue;
                 }
+                if counter.0.load(Ordering::Acquire) >= t {
+                    continue;
+                }
+                // Self-profiling: the clock only starts once a wait
+                // actually begins, so the in-lockstep fast path stays
+                // timer-free.
+                let wait_start = Instant::now();
                 let mut spins = 0u32;
                 while counter.0.load(Ordering::Acquire) < t {
                     spins += 1;
@@ -1600,6 +1733,7 @@ fn quantum_worker(
                         std::thread::yield_now();
                     }
                 }
+                lane.prof_wait_ns += wait_start.elapsed().as_nanos() as u64;
             }
         }
         if t >= stop_at.load(Ordering::Acquire) {
@@ -1631,11 +1765,20 @@ fn quantum_worker(
             local_tile_bare(ctx, shard, lane, stop_at, t);
             all_inert &= shard.inert();
         }
+        // Record forward progress for the watchdog replay (the flag is
+        // cheap to set unconditionally; the tick log only fills when a
+        // watchdog is armed).
+        let progressed = std::mem::take(&mut lane.progress);
+        if ctx.watch && progressed {
+            lane.progress_ticks.push(t);
+        }
         // Route this tick's outbound traffic into the `t + 1` inboxes.
         for (dest, dest_slots) in inboxes.iter().enumerate().take(ctx.num_tiles) {
             if lane.push_out[dest].is_empty() && lane.resp_out[dest].is_empty() {
                 continue;
             }
+            lane.prof_pushes += lane.push_out[dest].len() as u64;
+            lane.prof_responses += lane.resp_out[dest].len() as u64;
             let slot = &dest_slots[((t + 1) & 1) as usize];
             {
                 let mut inbox = slot.data.lock().expect("inbox lock");
@@ -1658,6 +1801,7 @@ fn quantum_worker(
         }
         t += 1;
     }
+    lane.prof_total_ns += lane_start.elapsed().as_nanos() as u64;
 }
 
 /// Resolves one deferred off-chip access at the quantum boundary —
@@ -1699,7 +1843,25 @@ fn quantum_round(cluster: &mut Cluster, target: u64, threads: usize) -> Result<b
     let num_tiles = cluster.config.num_tiles() as usize;
     let workers = threads.clamp(1, num_tiles);
     cluster.quantum.ensure(num_tiles, workers);
+    let obs_on = cluster.obs.is_some();
+    let flight_on = obs_on && cluster.flight_enabled;
+    let trace_on = cluster.trace.is_some();
+    let watch = cluster.watchdog.is_some();
+    // Observability counters are published as quantum-granular deltas of
+    // the per-bank / per-core totals the shards already maintain, so the
+    // hot path needs no extra bookkeeping for them.
+    let counter_base = obs_on.then(|| {
+        (
+            cluster.banks.iter().map(|b| b.stats.conflicts).sum::<u64>(),
+            cluster
+                .cores
+                .iter()
+                .map(|c| c.stats.icache_misses)
+                .sum::<u64>(),
+        )
+    });
     let stop_at = AtomicU64::new(target);
+    let round_start = Instant::now();
     {
         let Cluster {
             config,
@@ -1729,6 +1891,10 @@ fn quantum_round(cluster: &mut Cluster, target: u64, threads: usize) -> Result<b
             bank_words,
             num_tiles,
             ext_hold: (params.offchip_latency as u64).max(1),
+            obs_on,
+            flight_on,
+            trace_on,
+            watch,
         };
         let mut shards: Vec<TileShard<'_>> = cores
             .chunks_mut(cpt)
@@ -1788,12 +1954,37 @@ fn quantum_round(cluster: &mut Cluster, target: u64, threads: usize) -> Result<b
             );
         });
     }
+    let round_ns = round_start.elapsed().as_nanos() as u64;
     let reached = stop_at.into_inner();
-    quantum_boundary(cluster, reached, workers)
+    let boundary_start = Instant::now();
+    let result = quantum_boundary(cluster, reached, workers, counter_base);
+    let boundary_ns = boundary_start.elapsed().as_nanos() as u64;
+    crate::profile::record_quantum(
+        reached.saturating_sub(start),
+        round_ns,
+        boundary_ns,
+        cluster.quantum.ext_merged_last,
+        cluster
+            .quantum
+            .lanes
+            .iter_mut()
+            .take(workers)
+            .map(WorkerLane::take_profile),
+    );
+    result
 }
 
-/// The boundary work after every worker has stopped at `reached`.
-fn quantum_boundary(cluster: &mut Cluster, reached: u64, workers: usize) -> Result<bool, SimError> {
+/// The boundary work after every worker has stopped at `reached`:
+/// mailbox flush, observation-lane merges (trace, flight, spans,
+/// counters — all replayed in the sequential engine's drain order),
+/// off-chip resolution, error selection, watchdog replay, quiescence
+/// rollback, and time-series epoch close.
+fn quantum_boundary(
+    cluster: &mut Cluster,
+    reached: u64,
+    workers: usize,
+    counter_base: Option<(u64, u64)>,
+) -> Result<bool, SimError> {
     let bpt = cluster.config.banks_per_tile() as usize;
     let cpt = cluster.config.cores_per_tile() as usize;
     // The winning error, keyed `(tick, tile, phase)` with off-chip
@@ -1816,6 +2007,9 @@ fn quantum_boundary(cluster: &mut Cluster, reached: u64, workers: usize) -> Resu
             storage,
             offchip,
             quantum,
+            trace,
+            obs,
+            flight_enabled,
             ..
         } = &mut *cluster;
         // Flush undelivered mailbox traffic (sent on the final tick) into
@@ -1839,14 +2033,22 @@ fn quantum_boundary(cluster: &mut Cluster, reached: u64, workers: usize) -> Resu
         }
         // Resolve deferred off-chip accesses in (tick, tile) order — the
         // order the sequential commit would have resolved them — and
-        // merge the per-worker touch counts.
+        // merge the per-worker touch counts and observation lanes.
         let mut ext = std::mem::take(&mut quantum.ext_merge);
         ext.clear();
+        let mut trace_merge = std::mem::take(&mut quantum.trace_merge);
+        let mut mem_merge = std::mem::take(&mut quantum.mem_merge);
+        let mut halt_merge = std::mem::take(&mut quantum.halt_merge);
+        let mut progress_merge = std::mem::take(&mut quantum.progress_merge);
         for lane in quantum.lanes.iter_mut().take(workers) {
             ext.extend_from_slice(&lane.externals);
             lane.externals.clear();
             storage.add_touches(lane.touches);
             lane.touches = 0;
+            trace_merge.append(&mut lane.trace_out);
+            mem_merge.append(&mut lane.mem_events);
+            halt_merge.append(&mut lane.halts);
+            progress_merge.append(&mut lane.progress_ticks);
             if let Some((tick, tile, error)) = lane.error.take() {
                 note(tick, tile, 1, error);
             }
@@ -1863,21 +2065,100 @@ fn quantum_boundary(cluster: &mut Cluster, reached: u64, workers: usize) -> Resu
                 note(*tick, *tile, 0, e);
             }
         }
+        quantum.ext_merged_last = ext.len() as u64;
         ext.clear();
         quantum.ext_merge = ext;
+        // Replay the observation lanes in the sequential commit's drain
+        // order. Lanes own disjoint contiguous tile ranges and record
+        // tick-ascending, so a stable sort on (tick, tile-encoding key)
+        // reconstructs the global order exactly; within one (tick, tile)
+        // a single lane's intra-tile order (cores / banks ascending) is
+        // preserved. An error tick drains fully before the error is
+        // reported, exactly like `commit_tick`.
+        trace_merge.sort_by_key(|e| (e.cycle, e.core.index()));
+        if let Some(trace) = trace.as_mut() {
+            for &entry in trace_merge.iter() {
+                trace.record(entry);
+            }
+        }
+        trace_merge.clear();
+        quantum.trace_merge = trace_merge;
+        mem_merge.sort_by_key(|e| (e.tick, e.tile));
+        if *flight_enabled {
+            if let Some(hooks) = obs.as_ref() {
+                for e in mem_merge.iter() {
+                    hooks.obs.flight.record(
+                        e.tick,
+                        "mem",
+                        Some(e.core),
+                        format!(
+                            "{} served at tile {} bank {} word {}",
+                            e.kind, e.tile, e.bank, e.word
+                        ),
+                    );
+                }
+            }
+        }
+        mem_merge.clear();
+        quantum.mem_merge = mem_merge;
+        halt_merge.sort_by_key(|&(tick, core)| (tick, core));
+        if let Some(hooks) = obs.as_ref() {
+            for &(tick, core) in halt_merge.iter() {
+                hooks
+                    .obs
+                    .spans
+                    .begin(hooks.core_tracks[core as usize], "wfi", tick);
+            }
+        }
+        halt_merge.clear();
+        quantum.halt_merge = halt_merge;
+        progress_merge.sort_unstable();
+        progress_merge.dedup();
+        quantum.progress_merge = progress_merge;
+    }
+    // Quantum-granular counter deltas (identical totals to the
+    // sequential per-tick adds; an error tick's contribution is already
+    // in the per-bank / per-core stats, so the delta covers it too).
+    if let Some((conflicts0, icache0)) = counter_base {
+        if let Some(hooks) = &cluster.obs {
+            let conflicts1 = cluster.banks.iter().map(|b| b.stats.conflicts).sum::<u64>();
+            let icache1 = cluster
+                .cores
+                .iter()
+                .map(|c| c.stats.icache_misses)
+                .sum::<u64>();
+            hooks.bank_conflicts.add(conflicts1 - conflicts0);
+            hooks.icache_misses.add(icache1 - icache0);
+        }
     }
     if let Some((tick, _, _, error)) = winner {
         // The sequential engine reports an error with the clock still on
-        // the tick that raised it.
+        // the tick that raised it, and notes watchdog progress only for
+        // the fully committed ticks before it.
+        if let Some(wd) = cluster.watchdog.as_mut() {
+            if let Some(&lp) = cluster
+                .quantum
+                .progress_merge
+                .iter()
+                .take_while(|&&t| t < tick)
+                .last()
+            {
+                wd.note_progress(lp);
+            }
+        }
+        cluster.quantum.progress_merge.clear();
         cluster.cycle = tick;
         return Err(error);
     }
     cluster.cycle = reached;
+    let mut quiescent = false;
     if cluster.quiescent() {
         // The workers overshot the first quiescent cycle by up to a
         // quantum of trivial all-halted ticks; roll those back so the
         // result is bit-identical to the sequential engine, which stops
-        // the moment quiescence holds.
+        // the moment quiescence holds. Inert ticks record no progress
+        // and no events, so the observation lanes need no rollback.
+        quiescent = true;
         let t_q = cluster.quantum.lanes[..workers]
             .iter()
             .map(|lane| lane.inert_since)
@@ -1890,14 +2171,75 @@ fn quantum_boundary(cluster: &mut Cluster, reached: u64, workers: usize) -> Resu
             }
             cluster.cycle = t_q;
         }
-        return Ok(true);
     }
-    Ok(false)
+    // Watchdog replay. `run_quantum` caps the quantum target at
+    // `last_progress + threshold + 1`, so for every committed tick
+    // before the final one the no-progress window is provably below the
+    // threshold — a deadlock can only fire at the quantum's last tick,
+    // where the reassembled state equals the sequential engine's.
+    let mut deadlock = None;
+    if let Some(wd) = cluster.watchdog.as_mut() {
+        let lp = cluster.quantum.progress_merge.last().copied();
+        if let Some(lp) = lp {
+            wd.note_progress(lp);
+        }
+        cluster.quantum.progress_merge.clear();
+        if !quiescent {
+            let last = reached - 1;
+            if lp != Some(last) && wd.expired(last) {
+                deadlock = Some(wd.stalled_for(last));
+            }
+        }
+    }
+    if let Some(stalled_for) = deadlock {
+        // Identical to `commit_tick`: the clock stays on the expiring
+        // tick, the flight ring gets the expiry event after that tick's
+        // mem events, and diagnostics see the replayed trace.
+        let last = reached - 1;
+        cluster.cycle = last;
+        if cluster.flight_enabled {
+            if let Some(hooks) = &cluster.obs {
+                hooks.obs.flight.record(
+                    last,
+                    "watchdog",
+                    None,
+                    format!("expired: no forward progress for {stalled_for} cycles"),
+                );
+            }
+        }
+        return Err(SimError::Deadlock {
+            stalled_for,
+            diagnostics: core_diagnostics_from(cluster.cores.iter(), cluster.trace.as_ref()),
+        });
+    }
+    // Close a sampling epoch if one came due. `run_quantum` also caps the
+    // quantum target at `sampler.next_at`, so the boundary lands exactly
+    // on the cycle the sequential engine would have sampled at, with
+    // identical reassembled state (externals resolved, mailboxes
+    // flushed).
+    if cluster
+        .sampler
+        .as_ref()
+        .is_some_and(|sampler| cluster.cycle >= sampler.next_at)
+    {
+        let now = cluster.cycle;
+        let inputs = cluster.sample_inputs(now);
+        if let Some(sampler) = &cluster.sampler {
+            cluster.push_samples(sampler, now);
+        }
+        if let Some(sampler) = cluster.sampler.as_mut() {
+            sampler.rebaseline(inputs, now);
+        }
+    }
+    Ok(quiescent)
 }
 
-/// Runs an uninstrumented cluster on the quantum engine at any worker
-/// count (1 included — the lockstep degenerates to a plain loop), with
-/// results bit-identical to [`Cluster::step`].
+/// Runs a cluster on the quantum engine at any worker count (1 included
+/// — the lockstep degenerates to a plain loop), with results
+/// bit-identical to [`Cluster::step`]. Instrumentation (obs counters,
+/// time series, flight ring, tracing, watchdog) rides the shard-local
+/// observation lanes; only fault plans and spare-bank remaps are
+/// ineligible (see `Cluster::quantum_eligible`).
 pub(crate) fn run_quantum(
     cluster: &mut Cluster,
     max_cycles: u64,
@@ -1914,7 +2256,21 @@ pub(crate) fn run_quantum(
         if cluster.program.is_empty() {
             return Err(SimError::NoProgram);
         }
-        let target = deadline.min(cluster.cycle + QUANTUM_TICKS);
+        let mut target = deadline.min(cluster.cycle + QUANTUM_TICKS);
+        if let Some(sampler) = &cluster.sampler {
+            // Stop exactly on the sampling cycle: the boundary then
+            // closes the epoch against the same state the sequential
+            // engine's commit would have sampled.
+            target = target.min(sampler.next_at.max(cluster.cycle + 1));
+        }
+        if let Some(wd) = &cluster.watchdog {
+            // Stop one past the earliest possible expiry tick: any
+            // progress inside the quantum pushes expiry further out, so
+            // a deadlock is confined to the quantum's final tick (where
+            // boundary state equals sequential state).
+            let expiry = wd.last_progress().saturating_add(wd.threshold());
+            target = target.min(expiry.max(cluster.cycle).saturating_add(1));
+        }
         if quantum_round(cluster, target, threads)? {
             return Ok(cluster.cycle);
         }

@@ -60,12 +60,17 @@ pub mod icache;
 pub mod memory;
 pub mod offchip;
 pub mod params;
+pub mod profile;
 pub mod stats;
 pub mod trace;
 
 pub use ckpt::{run_with_checkpoints, CheckpointError, Checkpointer, CHECKPOINT_SCHEMA};
-pub use cluster::{Cluster, SimError};
+pub use cluster::{planned_engine, Cluster, EngineSelection, SimError};
 pub use offchip::OffchipPort;
 pub use params::{default_threads, set_default_threads, SimParams, ENGINE_VERSION};
+pub use profile::{
+    engine_profile, engine_profile_json, reset_engine_profile, EngineProfile, QuantumSample,
+    WorkerProfile,
+};
 pub use stats::{BankStats, ClusterStats, CoreStats};
 pub use trace::{Trace, TraceEntry};

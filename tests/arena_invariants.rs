@@ -13,6 +13,7 @@
 use mempool_arch::ClusterConfig;
 use mempool_isa::instr::{AluOp, AmoOp, BranchOp, Instr, LoadOp, StoreOp};
 use mempool_isa::{Program, Reg};
+use mempool_obs::Obs;
 use mempool_sim::{Cluster, SimError, SimParams};
 
 /// A steady cross-tile traffic loop: every core hammers a shared word
@@ -109,6 +110,34 @@ fn arena_reaches_a_steady_footprint_and_stops_growing() {
              buffers must be recycled, not reallocated"
         );
     }
+}
+
+#[test]
+fn instrumented_arena_reaches_a_steady_footprint_too() {
+    // The shard-local observation lanes (memory events, trace entries,
+    // halts, forward-progress ticks) live in the same arena as the
+    // mailboxes. Turning the full instrumentation stack on must not
+    // reintroduce per-quantum allocations: once the homogeneous loop has
+    // warmed the lanes up, the footprint is pinned.
+    let mut cluster = bare_cluster(4, 50_000);
+    let obs = Obs::new();
+    cluster.attach_obs(&obs, "arena");
+    cluster.enable_timeseries(256);
+    cluster.enable_flight(64);
+    cluster.enable_trace(64);
+    cluster.set_watchdog(1_000_000);
+    assert!(!advance(&mut cluster, 5_000), "workload outlives warmup");
+    let warm = cluster.engine_arena_footprint();
+    assert!(warm > 0, "instrumented lanes must have reserved buffers");
+    for slice in 0..8 {
+        assert!(!advance(&mut cluster, 2_000), "workload outlives slices");
+        assert_eq!(
+            cluster.engine_arena_footprint(),
+            warm,
+            "instrumented arena footprint changed after warmup (slice {slice})"
+        );
+    }
+    cluster.detach_obs();
 }
 
 #[test]

@@ -18,7 +18,7 @@ use mempool_kernels::dotprod::DotProduct;
 use mempool_kernels::matmul::ComputePhase;
 use mempool_kernels::transpose::Transpose;
 use mempool_kernels::Kernel;
-use mempool_obs::{Json, Obs};
+use mempool_obs::{chrome_trace_with_counters, Json, Obs};
 use mempool_sim::{Cluster, ClusterStats, SimError, SimParams};
 
 /// Thread counts exercised against the sequential reference. Eight
@@ -47,7 +47,10 @@ fn params(threads: usize) -> SimParams {
     }
 }
 
-/// Everything one run observes, in directly comparable form.
+/// Everything one run observes, in directly comparable form. The string
+/// fields are the *serialized artifacts* (what `repro --artifacts` writes
+/// as timeseries.json, trace.json, and the flight events), so equality
+/// here is the byte-identity the instrumented CI diff relies on.
 #[derive(Debug, PartialEq)]
 struct Observed {
     cycles: u64,
@@ -55,11 +58,16 @@ struct Observed {
     digest: u64,
     attribution: String,
     timeseries: String,
+    trace: String,
+    flight: String,
     fault_report: Option<String>,
 }
 
 /// Runs `kernel` once at the given thread count, with optional fault
-/// injection, and captures every comparable output.
+/// injection, and captures every comparable output — the full
+/// observability stack is on (spans, metrics, time series, flight ring,
+/// instruction trace), so clean multi-thread legs exercise the quantum
+/// engine's shard-local observation lanes.
 fn observe(
     kernel: &dyn Kernel,
     threads: usize,
@@ -71,6 +79,8 @@ fn observe(
     let mut cluster = Cluster::new(cfg.clone(), params(threads));
     cluster.attach_obs(&obs, "equivalence");
     cluster.enable_timeseries(256);
+    cluster.enable_flight(128);
+    cluster.enable_trace(128);
     if let Some(plan) = plan {
         cluster.inject_faults(plan).unwrap();
     }
@@ -85,12 +95,17 @@ fn observe(
         .attribution(cfg.cores_per_tile(), cfg.banks_per_tile())
         .to_json()
         .to_pretty();
+    let fault_report = cluster.fault_report().map(|r| r.to_json().to_pretty());
+    // Close still-open spans so the exported trace is balanced.
+    cluster.detach_obs();
     Observed {
         cycles,
         digest: stats.digest(),
         attribution,
         timeseries: obs.series.to_json().to_pretty(),
-        fault_report: cluster.fault_report().map(|r| r.to_json().to_pretty()),
+        trace: chrome_trace_with_counters(&obs.spans, Some(&obs.series)).to_pretty(),
+        flight: obs.flight.to_json().to_pretty(),
+        fault_report,
         stats,
     }
 }
@@ -453,4 +468,178 @@ fn quantum_reports_no_program_like_the_step_loop() {
         sequential.run(1000).expect_err("no program loaded"),
         quantum.run(1000).expect_err("no program loaded"),
     );
+}
+
+// ---------------------------------------------------------------------
+// Instrumented quantum runs: observability no longer forces the step
+// engine. A fully instrumented cluster (spans, metrics, time series,
+// flight ring, instruction trace, watchdog) still dispatches to the
+// quantum engine, and every serialized artifact is byte-identical to the
+// sequential reference — the shard-local observation lanes merge in
+// source-tile order at quantum stops.
+// ---------------------------------------------------------------------
+
+/// One fully instrumented run on the quantum traffic program, returning
+/// the serialized artifacts.
+fn observe_instrumented(threads: usize, program: &Program) -> Observed {
+    let obs = Obs::new();
+    let mut cluster = Cluster::new(quantum_config(), params(threads));
+    cluster.force_oversubscribe();
+    cluster.attach_obs(&obs, "instrumented");
+    cluster.enable_timeseries(64);
+    cluster.enable_flight(128);
+    cluster.enable_trace(128);
+    cluster.set_watchdog(100_000);
+    let selection = cluster.engine_selection();
+    if threads > 1 {
+        assert_eq!(
+            selection.engine, "quantum",
+            "instrumentation must not force the step engine: {}",
+            selection.reason
+        );
+    } else {
+        assert_eq!(selection.engine, "step");
+    }
+    cluster.load_program(program.clone());
+    cluster.preload_icaches();
+    let cycles = cluster.run(1_000_000).expect("instrumented run completes");
+    let stats = cluster.stats();
+    let attribution = stats.attribution(2, 4).to_json().to_pretty();
+    cluster.detach_obs();
+    Observed {
+        cycles,
+        digest: stats.digest(),
+        attribution,
+        timeseries: obs.series.to_json().to_pretty(),
+        trace: chrome_trace_with_counters(&obs.spans, Some(&obs.series)).to_pretty(),
+        flight: obs.flight.to_json().to_pretty(),
+        fault_report: None,
+        stats,
+    }
+}
+
+#[test]
+fn instrumented_quantum_runs_produce_byte_identical_artifacts() {
+    for external in [false, true] {
+        let program = quantum_traffic(40, external);
+        let reference = observe_instrumented(1, &program);
+        assert!(
+            !reference.flight.contains("\"events\": []"),
+            "served requests must land in the flight ring"
+        );
+        assert!(
+            reference.timeseries.contains("series"),
+            "epoch sampling must produce tracks"
+        );
+        for workers in QUANTUM_WORKERS {
+            let candidate = observe_instrumented(workers, &program);
+            assert_eq!(
+                reference, candidate,
+                "instrumented artifacts diverged at {workers} workers (external {external})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_plan_runs_record_the_step_fallback_with_its_reason() {
+    // Fault machinery stays on the per-tick step engine; since PR 10 the
+    // downgrade is recorded, not silent.
+    let fault_cfg = FaultConfig::new(FAULT_SEED, 1e-4).with_horizon(50_000);
+    let plan = FaultPlan::generate(&fault_cfg, &zoo_config());
+    let mut cluster = Cluster::new(zoo_config(), params(4));
+    cluster.force_oversubscribe();
+    cluster.inject_faults(&plan).unwrap();
+    let selection = cluster.engine_selection();
+    assert_eq!(selection.engine, "step");
+    assert!(
+        selection.reason.contains("fault plan"),
+        "the reason must name the fault plan: {}",
+        selection.reason
+    );
+    let planned = mempool_sim::planned_engine(4, true);
+    assert_eq!(planned.engine, "step");
+    assert_eq!(mempool_sim::planned_engine(1, false).engine, "step");
+}
+
+#[test]
+fn watchdog_deadlock_on_the_quantum_engine_is_bit_identical() {
+    // Core 0 issues an off-chip load whose response takes far longer than
+    // the watchdog threshold, then stalls using the result: a genuine
+    // forward-progress deadlock on the quantum path (no fault plan, so
+    // the run is quantum-eligible). The flight recorder must trip
+    // mid-quantum with the identical watchdog event, error, and stop
+    // cycle at every worker count.
+    let program = Program::new(vec![
+        Instr::Csrrs {
+            rd: Reg::new(1),
+            csr: CSR_MHARTID,
+            rs1: Reg::ZERO,
+        },
+        Instr::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::new(1),
+            rs2: Reg::ZERO,
+            offset: 16,
+        },
+        Instr::Lui {
+            rd: Reg::new(2),
+            imm: 0x8000_0000,
+        },
+        Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::new(3),
+            rs1: Reg::new(2),
+            offset: 0,
+        },
+        Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::new(4),
+            rs1: Reg::new(3),
+            rs2: Reg::new(3),
+        },
+        Instr::Wfi,
+    ]);
+    let run_once = |threads: usize| -> (SimError, u64, String) {
+        let obs = Obs::new();
+        let slow_offchip = SimParams {
+            offchip_latency: 10_000,
+            ..params(threads)
+        };
+        let mut cluster = Cluster::new(quantum_config(), slow_offchip);
+        cluster.force_oversubscribe();
+        cluster.attach_obs(&obs, "deadlock");
+        cluster.enable_timeseries(64);
+        cluster.enable_flight(64);
+        cluster.enable_trace(64);
+        cluster.set_watchdog(100);
+        assert_eq!(
+            cluster.engine_selection().engine,
+            if threads > 1 { "quantum" } else { "step" }
+        );
+        cluster.load_program(program.clone());
+        cluster.preload_icaches();
+        let err = cluster.run(100_000).expect_err("the watchdog must fire");
+        let cycle = cluster.cycle();
+        cluster.detach_obs();
+        (err, cycle, obs.flight.to_json().to_pretty())
+    };
+    let (ref_err, ref_cycle, ref_flight) = run_once(1);
+    assert!(
+        matches!(ref_err, SimError::Deadlock { .. }),
+        "expected a deadlock, got {ref_err}"
+    );
+    assert!(
+        ref_flight.contains("watchdog"),
+        "the flight ring must carry the watchdog event: {ref_flight}"
+    );
+    for workers in QUANTUM_WORKERS {
+        let (err, cycle, flight) = run_once(workers);
+        assert_eq!(err, ref_err, "deadlock diverged at {workers} workers");
+        assert_eq!(cycle, ref_cycle, "stop cycle diverged at {workers} workers");
+        assert_eq!(
+            flight, ref_flight,
+            "flight ring diverged at {workers} workers"
+        );
+    }
 }
